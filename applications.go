@@ -1,0 +1,154 @@
+package khcore
+
+import (
+	"repro/internal/apps/chromatic"
+	"repro/internal/apps/community"
+	"repro/internal/apps/densest"
+	"repro/internal/apps/hclique"
+	"repro/internal/apps/hclub"
+	"repro/internal/apps/landmarks"
+)
+
+// ---- Distance-h coloring (§5.1) ----
+
+// Coloring is a distance-h coloring: same-colored vertices are more than
+// h hops apart in the graph.
+type Coloring = chromatic.Coloring
+
+// GreedyColoring produces a valid distance-h coloring with at most
+// 1 + degeneracy(G^h) colors (the coloring's Guarantee field). The
+// paper's Theorem 1 claims the tighter 1 + Ĉh(G); that bound holds on
+// almost all graphs and the greedy tries the paper's ordering first, but
+// the claim is false in general — see Theorem1Counterexample and the
+// chromatic package documentation. Pass a Decompose result for the same
+// h, or nil to have it computed.
+func GreedyColoring(g *Graph, h int, decomposition *Result) (*Coloring, error) {
+	return chromatic.Greedy(g, h, decomposition)
+}
+
+// VerifyColoring checks a distance-h coloring for validity.
+func VerifyColoring(g *Graph, c *Coloring) error { return chromatic.Verify(g, c) }
+
+// Theorem1Counterexample returns the 9-vertex graph found during this
+// reproduction that refutes the paper's Theorem 1 as stated: its exact
+// distance-2 chromatic number is 6 while 1 + Ĉ2(G) = 5.
+func Theorem1Counterexample() *Graph { return chromatic.Counterexample() }
+
+// ---- Maximum h-club (§5.2, Algorithm 7) ----
+
+// HClubOptions bounds the exact h-club solvers; HClubResult reports the
+// best club found, whether it is provably maximum, and search effort.
+type (
+	HClubOptions = hclub.Options
+	HClubResult  = hclub.Result
+	// HClubSolver is a black-box maximum-h-club algorithm, pluggable into
+	// MaxHClubWithCores (the "A(G,h)" of Algorithm 7).
+	HClubSolver = hclub.Solver
+)
+
+// IsHClub reports whether the subgraph induced by S has diameter ≤ h.
+func IsHClub(g *Graph, S []int, h int) bool { return hclub.IsHClub(g, S, h) }
+
+// MaxHClub finds a maximum h-club with the whole-graph branch-and-bound
+// solver (the paper's DBC stand-in).
+func MaxHClub(g *Graph, h int, opts HClubOptions) HClubResult {
+	return hclub.Exact(g, h, opts)
+}
+
+// MaxHClubIterative finds a maximum h-club with the
+// neighborhood-decomposition solver (the paper's ITDBC stand-in).
+func MaxHClubIterative(g *Graph, h int, opts HClubOptions) HClubResult {
+	return hclub.ExactIterative(g, h, opts)
+}
+
+// MaxHClubWithCores is Algorithm 7: it wraps any black-box solver with the
+// (k,h)-core decomposition, searching from the innermost core outward and
+// stopping as soon as a club larger than the current core index is found
+// (Theorem 3 guarantees maximality). decomposition must be a Decompose
+// result for the same h.
+func MaxHClubWithCores(g *Graph, h int, decomposition *Result, solver HClubSolver, opts HClubOptions) (HClubResult, error) {
+	return hclub.WithCores(g, h, decomposition, solver, opts)
+}
+
+// ---- Distance-h densest subgraph (§5.3) ----
+
+// DenseSubgraph is a candidate distance-h densest subgraph: a vertex set
+// with its average h-degree.
+type DenseSubgraph = densest.Subgraph
+
+// DensestSubgraph returns the core with the maximum average h-degree — a
+// (√(f* + 1/4) − 1/2)-approximation of the distance-h densest subgraph
+// (Theorem 4). Pass a Decompose result for the same h, or nil.
+func DensestSubgraph(g *Graph, h int, decomposition *Result) (*DenseSubgraph, error) {
+	return densest.Approximate(g, h, decomposition)
+}
+
+// AverageHDegree returns the average h-degree of the subgraph induced by
+// verts — the densest-subgraph objective.
+func AverageHDegree(g *Graph, verts []int, h int) float64 {
+	return densest.AverageHDegree(g, verts, h)
+}
+
+// ---- Cocktail-party community search (Appendix B) ----
+
+// Community is a connected subgraph containing the query vertices that
+// maximizes the minimum h-degree.
+type Community = community.Community
+
+// CommunitySearch solves the distance-generalized cocktail party problem
+// for query vertices Q. Pass a Decompose result for the same h, or nil.
+func CommunitySearch(g *Graph, h int, query []int, decomposition *Result) (*Community, error) {
+	return community.Search(g, h, query, decomposition)
+}
+
+// ---- Landmark distance oracles (§6.6) ----
+
+// LandmarkOracle estimates shortest-path distances from precomputed
+// landmark BFS trees via the triangle-inequality sandwich.
+type LandmarkOracle = landmarks.Oracle
+
+// LandmarkStrategy selects how landmarks are chosen.
+type LandmarkStrategy = landmarks.Strategy
+
+// Landmark-selection strategies (Table 7). LandmarksMaxCore is the
+// paper's proposal: sample uniformly from the maximum (k,h)-core.
+const (
+	LandmarksMaxCore     = landmarks.MaxCore
+	LandmarksCloseness   = landmarks.Closeness
+	LandmarksBetweenness = landmarks.Betweenness
+	LandmarksHDegree     = landmarks.HDegree
+)
+
+// SelectLandmarks picks ell landmarks with the given strategy. MaxCore
+// requires a Decompose result (its h determines the core); HDegree uses h
+// as the neighborhood radius.
+func SelectLandmarks(g *Graph, strategy LandmarkStrategy, ell, h int, decomposition *Result, seed uint64, workers int) ([]int, error) {
+	return landmarks.Select(g, strategy, ell, h, decomposition, seed, workers)
+}
+
+// NewLandmarkOracle precomputes BFS distances from each landmark.
+func NewLandmarkOracle(g *Graph, lms []int) (*LandmarkOracle, error) {
+	return landmarks.NewOracle(g, lms)
+}
+
+// EvaluateOracle measures the oracle's mean relative estimation error
+// over randomly sampled connected vertex pairs (the paper's protocol).
+func EvaluateOracle(g *Graph, o *LandmarkOracle, pairs int, seed uint64) landmarks.Evaluation {
+	return landmarks.Evaluate(g, o, pairs, seed)
+}
+
+// ---- Maximum h-clique (Definition 4 / Theorem 2) ----
+
+// HCliqueResult reports a maximum h-clique search.
+type HCliqueResult = hclique.Result
+
+// IsHClique reports whether every pair of S is within distance h in g
+// (paths may leave S — the difference from an h-club).
+func IsHClique(g *Graph, S []int, h int) bool { return hclique.IsHClique(g, S, h) }
+
+// MaxHClique finds a maximum h-clique (a maximum clique of the power
+// graph G^h) with a coloring-bounded branch and bound. maxNodes ≤ 0 means
+// unlimited.
+func MaxHClique(g *Graph, h int, maxNodes int64) HCliqueResult {
+	return hclique.Max(g, h, hclique.Options{MaxNodes: maxNodes})
+}

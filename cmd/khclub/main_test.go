@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunModes(t *testing.T) {
+	for _, mode := range []string{"cores", "direct", "compare"} {
+		if err := run(2, mode, "coli", 5000, 1, nil); err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunOnFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 0\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(2, "cores", "", 0, 1, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(2, "cores", "", 0, 1, nil); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if err := run(2, "weird", "coli", 0, 1, nil); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if err := run(2, "cores", "bogus", 0, 1, nil); err == nil {
+		t.Fatal("bad dataset accepted")
+	}
+}
+
+func TestRunRejectsBadH(t *testing.T) {
+	if err := run(0, "cores", "coli", 0, 1, nil); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunOnDataset(t *testing.T) {
+	if err := run(2, "lbub", 1, 0, "coli", true, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(2, "bz", 1, 0, "coli", false, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(1, "lb", 1, 0, "jazz", false, false, true, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnEdgeListFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("# tri\n10 20\n20 30\n30 10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(2, "lbub", 1, 0, "", false, true, false, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(2, "lbub", 1, 0, "", false, false, false, nil); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if err := run(2, "nope", 1, 0, "coli", false, false, false, nil); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+	if err := run(2, "lbub", 1, 0, "bogus", false, false, false, nil); err == nil {
+		t.Fatal("bad dataset accepted")
+	}
+	if err := run(0, "lbub", 1, 0, "coli", false, false, false, nil); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+	if err := run(2, "lbub", 1, 0, "", false, false, false, []string{"/nonexistent/file"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

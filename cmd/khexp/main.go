@@ -1,0 +1,74 @@
+// Command khexp regenerates the paper's evaluation artifacts (Tables 1–7,
+// Figures 3–7) on the synthetic dataset analogs and prints them as text
+// tables — the tool behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	khexp -list                      # show experiment ids
+//	khexp table3                     # one experiment at default scale
+//	khexp -max-vertices 600 all      # everything, subsampled for speed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	var (
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		workers     = flag.Int("workers", 0, "h-BFS worker count (0 = NumCPU)")
+		maxVertices = flag.Int("max-vertices", 0, "snowball-subsample datasets above this size (0 = full registry size)")
+		maxH        = flag.Int("max-h", 0, "cap the largest h (0 = experiment default)")
+		datasets    = flag.String("datasets", "", "comma-separated dataset override")
+		pairs       = flag.Int("pairs", 500, "query pairs for the landmark experiment")
+		ell         = flag.Int("ell", 20, "number of landmarks")
+		reps        = flag.Int("reps", 3, "repetitions for stochastic experiments")
+		budget      = flag.Int64("club-budget", 0, "h-club branch-and-bound node budget (0 = default)")
+		clubTimeout = flag.Duration("club-timeout", 0, "per-solver h-club wall-clock cap (0 = 15s default)")
+		seed        = flag.Uint64("seed", 0, "sampling seed (0 = default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range expt.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "khexp: need one experiment id or 'all' (use -list to enumerate)")
+		os.Exit(2)
+	}
+
+	cfg := expt.Config{
+		Workers:       *workers,
+		MaxVertices:   *maxVertices,
+		MaxH:          *maxH,
+		Pairs:         *pairs,
+		Ell:           *ell,
+		Reps:          *reps,
+		HClubMaxNodes: *budget,
+		HClubTimeout:  *clubTimeout,
+		Seed:          *seed,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	id := flag.Arg(0)
+	var err error
+	if id == "all" {
+		err = expt.RunAll(cfg, os.Stdout)
+	} else {
+		err = expt.Run(id, cfg, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khexp:", err)
+		os.Exit(1)
+	}
+}

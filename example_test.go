@@ -1,0 +1,84 @@
+package khcore_test
+
+import (
+	"fmt"
+
+	khcore "repro"
+)
+
+// ExampleDecompose reproduces the paper's Figure 1: the classic core
+// decomposition is flat while the (k,2)-decomposition separates three
+// structural layers.
+func ExampleDecompose() {
+	g := khcore.PaperGraph()
+
+	classic, _ := khcore.Decompose(g, khcore.Options{H: 1})
+	distance2, _ := khcore.Decompose(g, khcore.Options{H: 2, Algorithm: khcore.HLBUB})
+
+	fmt.Println("h=1:", classic.Core)
+	fmt.Println("h=2:", distance2.Core)
+	fmt.Println("Ĉ2:", distance2.MaxCoreIndex())
+	// Output:
+	// h=1: [2 2 2 2 2 2 2 2 2 2 2 2 2]
+	// h=2: [4 5 5 6 6 6 6 6 6 6 6 6 6]
+	// Ĉ2: 6
+}
+
+// ExampleLowerBounds shows the paper's Example 3 bounds on the Figure 1
+// graph: LB1 is the degree for h = 2, LB2 lifts it over the neighborhood.
+func ExampleLowerBounds() {
+	g := khcore.PaperGraph()
+	lb1, lb2 := khcore.LowerBounds(g, 2, 1)
+	fmt.Println("LB1(v1):", lb1[0], "LB1(v4):", lb1[3])
+	fmt.Println("LB2(v2):", lb2[1])
+	// Output:
+	// LB1(v1): 2 LB1(v4): 5
+	// LB2(v2): 5
+}
+
+// ExampleUpperBounds shows the paper's Example 2/Figure 2: the core index
+// in the power graph G² over-estimates the true (k,2)-core index of
+// vertices 2 and 3.
+func ExampleUpperBounds() {
+	g := khcore.PaperGraph()
+	ub := khcore.UpperBounds(g, 2, 1)
+	res, _ := khcore.Decompose(g, khcore.Options{H: 2})
+	fmt.Println("UB(v2):", ub[1], "true core(v2):", res.Core[1])
+	// Output:
+	// UB(v2): 6 true core(v2): 5
+}
+
+// ExampleMaxHClubWithCores runs Algorithm 7: the maximum h-club search
+// wrapped in the core decomposition (Theorem 3 confines every h-club of
+// size k+1 to the (k,h)-core).
+func ExampleMaxHClubWithCores() {
+	g := khcore.PaperGraph()
+	dec, _ := khcore.Decompose(g, khcore.Options{H: 2, Algorithm: khcore.HLBUB})
+	res, _ := khcore.MaxHClubWithCores(g, 2, dec, khcore.MaxHClub, khcore.HClubOptions{})
+	fmt.Println("max 2-club size:", len(res.Club), "exact:", res.Exact)
+	// Output:
+	// max 2-club size: 6 exact: true
+}
+
+// ExampleCommunitySearch solves the cocktail-party problem: the community
+// of a vertex from the innermost core is that core's component.
+func ExampleCommunitySearch() {
+	g := khcore.PaperGraph()
+	dec, _ := khcore.Decompose(g, khcore.Options{H: 2, Algorithm: khcore.HLBUB})
+	comm, _ := khcore.CommunitySearch(g, 2, []int{5}, dec)
+	fmt.Println("community level:", comm.K, "size:", len(comm.Vertices))
+	// Output:
+	// community level: 6 size: 10
+}
+
+// ExampleDecomposeSpectrum computes the per-vertex core-index spectrum —
+// the paper's future-work "all h at once" proposal.
+func ExampleDecomposeSpectrum() {
+	g := khcore.PaperGraph()
+	sp, _ := khcore.DecomposeSpectrum(g, 3, khcore.Options{Algorithm: khcore.HLB})
+	fmt.Println("paper vertex 1:", sp.Vector(0))
+	fmt.Println("paper vertex 4:", sp.Vector(3))
+	// Output:
+	// paper vertex 1: [2 4 11]
+	// paper vertex 4: [2 6 11]
+}

@@ -1,0 +1,52 @@
+// Distance-h densest subgraph (§5.3): among all (k,h)-cores, the one with
+// the maximum average h-degree approximates the distance-h densest
+// subgraph with the Theorem 4 guarantee. On a small graph we verify the
+// bound against the exact (exponential) optimum.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	khcore "repro"
+	"repro/internal/apps/densest"
+)
+
+func main() {
+	// Medium graph: core-based approximation only.
+	g := khcore.Communities(500, 60, 8, 16, 0.4, 0xDE45)
+	for h := 1; h <= 3; h++ {
+		dec, err := khcore.Decompose(g, khcore.Options{H: h, Algorithm: khcore.HLBUB})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sub, err := khcore.DensestSubgraph(g, h, dec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("h=%d: densest core is C_%d with %d vertices, average %d-degree %.2f\n",
+			h, sub.CoreK, len(sub.Vertices), h, sub.Density)
+	}
+
+	// Tiny graph: compare against the exact optimum and check Theorem 4.
+	tiny := khcore.ErdosRenyi(12, 26, 0xBEEF)
+	h := 2
+	approx, err := khcore.DensestSubgraph(tiny, h, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := densest.Exact(tiny, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := math.Sqrt(exact.Density+0.25) - 0.5
+	fmt.Printf("\ntiny graph (n=12, h=%d):\n", h)
+	fmt.Printf("  exact optimum f(S*) = %.3f (%d vertices)\n", exact.Density, len(exact.Vertices))
+	fmt.Printf("  core approximation  = %.3f (core C_%d)\n", approx.Density, approx.CoreK)
+	fmt.Printf("  Theorem 4 floor     = √(f*+0.25)−0.5 = %.3f\n", bound)
+	if approx.Density+1e-9 < bound {
+		log.Fatal("Theorem 4 violated!")
+	}
+	fmt.Println("  guarantee holds ✓")
+}

@@ -1,0 +1,61 @@
+// Maximum h-club with Algorithm 7: the (k,h)-core decomposition shrinks
+// the NP-hard search to the innermost cores. We compare the whole-graph
+// exact branch & bound against the core-wrapped version on a
+// collaboration-style network — the paper's §6.5 experiment in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	khcore "repro"
+)
+
+func main() {
+	// A collaboration-style network with a pronounced dense core.
+	g := khcore.Communities(400, 55, 6, 12, 0.4, 0xC1AB)
+	h := 2
+	fmt.Printf("graph: %d vertices, %d edges, h=%d\n\n", g.NumVertices(), g.NumEdges(), h)
+
+	// Direct: exact branch & bound on the whole graph (DBC stand-in).
+	start := time.Now()
+	direct := khcore.MaxHClub(g, h, khcore.HClubOptions{})
+	directTime := time.Since(start)
+	fmt.Printf("direct solver : club size %d, %d B&B nodes, %v\n",
+		len(direct.Club), direct.Nodes, directTime.Round(time.Millisecond))
+
+	// Algorithm 7: decompose first, then solve inside the innermost core.
+	start = time.Now()
+	dec, err := khcore.Decompose(g, khcore.Options{H: h, Algorithm: khcore.HLBUB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	topK := dec.MaxCoreIndex()
+	topSize := len(dec.CoreVertices(topK))
+	wrapped, err := khcore.MaxHClubWithCores(g, h, dec, khcore.MaxHClub, khcore.HClubOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrappedTime := time.Since(start)
+	fmt.Printf("Algorithm 7   : club size %d, %d B&B nodes, %v (innermost core: k=%d, %d of %d vertices)\n",
+		len(wrapped.Club), wrapped.Nodes, wrappedTime.Round(time.Millisecond), topK, topSize, g.NumVertices())
+
+	if len(direct.Club) != len(wrapped.Club) {
+		log.Fatalf("solvers disagree: %d vs %d", len(direct.Club), len(wrapped.Club))
+	}
+	if !khcore.IsHClub(g, wrapped.Club, h) {
+		log.Fatal("result is not an h-club")
+	}
+	fmt.Printf("\nTheorem 3 check: every h-club of size k+1 lives in the (k,h)-core — ")
+	k := len(wrapped.Club) - 1
+	for _, v := range wrapped.Club {
+		if dec.Core[v] < k {
+			log.Fatalf("violated at vertex %d", v)
+		}
+	}
+	fmt.Println("holds ✓")
+	if directTime > wrappedTime {
+		fmt.Printf("speedup from the core wrapper: %.1fx\n", float64(directTime)/float64(wrappedTime))
+	}
+}

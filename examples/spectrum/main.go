@@ -1,0 +1,69 @@
+// Core-index spectrum (paper §6.1 and §7): the vector of (k,h)-core
+// indices for h = 1..4 characterizes a vertex far better than any single
+// index. Vertices with identical classic cores can sit at opposite ends of
+// the distance-2 decomposition, and the future-work "all h at once"
+// algorithm computes the whole spectrum cheaper than independent runs by
+// seeding each level with the previous one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	khcore "repro"
+)
+
+func main() {
+	g := khcore.PaperGraph()
+	const maxH = 4
+
+	sp, err := khcore.DecomposeSpectrum(g, maxH, khcore.Options{Algorithm: khcore.HLB})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("per-vertex core-index spectrum of the paper's Figure 1 graph:")
+	fmt.Println("vertex   h=1 h=2 h=3 h=4")
+	for v := 0; v < g.NumVertices(); v++ {
+		vec := sp.Vector(v)
+		fmt.Printf("v%-7d %3d %3d %3d %3d\n", v+1, vec[0], vec[1], vec[2], vec[3])
+	}
+
+	// At h=1 the classic decomposition is flat (everything core 2); the
+	// spectrum separates the periphery from the dense region.
+	flat := true
+	for v := 1; v < g.NumVertices(); v++ {
+		if sp.Index(v, 1) != sp.Index(0, 1) {
+			flat = false
+		}
+	}
+	fmt.Printf("\nclassic (h=1) decomposition flat: %v — distinct (k,2) levels: %d\n",
+		flat, distinct(sp.Core[1]))
+
+	// Work comparison on a non-trivial graph: the seeded spectrum vs
+	// independent decompositions (the seeding effect needs room to show).
+	big := khcore.Communities(400, 55, 6, 12, 0.4, 0x5EED)
+	spBig, err := khcore.DecomposeSpectrum(big, 3, khcore.Options{Algorithm: khcore.HLB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var independent int64
+	for h := 1; h <= 3; h++ {
+		r, err := khcore.Decompose(big, khcore.Options{H: h, Algorithm: khcore.HLB})
+		if err != nil {
+			log.Fatal(err)
+		}
+		independent += r.Stats.HDegreeComputations
+	}
+	fmt.Printf("\non a 400-vertex collaboration graph (h ≤ 3):\n")
+	fmt.Printf("h-degree computations: spectrum (seeded) %d vs independent runs %d\n",
+		spBig.Stats.HDegreeComputations, independent)
+}
+
+func distinct(core []int) int {
+	seen := map[int]bool{}
+	for _, c := range core {
+		seen[c] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,54 @@
+package khcore
+
+import (
+	"repro/internal/datasets"
+	"repro/internal/gen"
+)
+
+// Deterministic graph generators used by the paper's evaluation workloads.
+// All take explicit seeds and reproduce identical graphs across runs.
+
+// ErdosRenyi samples a G(n, m) uniform random graph.
+func ErdosRenyi(n, m int, seed uint64) *Graph { return gen.ErdosRenyi(n, m, seed) }
+
+// BarabasiAlbert grows a preferential-attachment graph (heavy-tailed
+// social-network degree distribution); each new vertex attaches to mPer
+// existing ones.
+func BarabasiAlbert(n, mPer int, seed uint64) *Graph { return gen.BarabasiAlbert(n, mPer, seed) }
+
+// WattsStrogatz builds a small-world ring lattice with rewiring
+// probability beta.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *Graph {
+	return gen.WattsStrogatz(n, k, beta, seed)
+}
+
+// RoadGrid builds a road-network-like perturbed grid (sparse, low degree,
+// large diameter).
+func RoadGrid(rows, cols int, dropFrac, diagFrac float64, seed uint64) *Graph {
+	return gen.RoadGrid(rows, cols, dropFrac, diagFrac, seed)
+}
+
+// Communities builds an overlapping-community collaboration-style graph
+// (high clustering, dense neighborhoods).
+func Communities(n, numComm, minSize, maxSize int, interFrac float64, seed uint64) *Graph {
+	return gen.Communities(n, numComm, minSize, maxSize, interFrac, seed)
+}
+
+// Snowball BFS-samples a connected induced subgraph of the given size, as
+// in the paper's scalability experiment (§6.4); orig maps sample ids back
+// to ids in g.
+func Snowball(g *Graph, size int, seed uint64) (sample *Graph, orig []int) {
+	return gen.Snowball(g, size, seed)
+}
+
+// PaperGraph returns the paper's 13-vertex Figure 1 example (vertex i is
+// the paper's vertex i+1): classic cores are all 2, while the (k,2)-cores
+// split into levels 4 / 5 / 6.
+func PaperGraph() *Graph { return datasets.PaperGraph() }
+
+// DatasetNames lists the built-in synthetic analogs of the paper's
+// Table 1 datasets.
+func DatasetNames() []string { return datasets.Names() }
+
+// LoadDataset builds a named synthetic dataset analog.
+func LoadDataset(name string) (*Graph, error) { return datasets.Load(name) }

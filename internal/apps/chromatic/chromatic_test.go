@@ -1,0 +1,247 @@
+package chromatic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestGreedyValidOnFixedGraphs(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path":  gen.Path(12),
+		"cycle": gen.Cycle(9),
+		"star":  gen.Star(8),
+		"paper": datasets.PaperGraph(),
+		"comm":  gen.Communities(50, 8, 4, 8, 0.2, 5),
+	}
+	for name, g := range graphs {
+		for h := 1; h <= 4; h++ {
+			c, err := Greedy(g, h, nil)
+			if err != nil {
+				t.Fatalf("%s h=%d: %v", name, h, err)
+			}
+			if err := Verify(g, c); err != nil {
+				t.Fatalf("%s h=%d: invalid coloring: %v", name, h, err)
+			}
+		}
+	}
+}
+
+// TestStarChromatic pins exact values: on K_{1,n-1} with h=2 all vertices
+// are pairwise within 2 hops, so χ2 = n.
+func TestStarChromatic(t *testing.T) {
+	g := gen.Star(7)
+	c, err := Greedy(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumColors != 7 {
+		t.Fatalf("χ2(K_{1,6}) via greedy = %d, want 7", c.NumColors)
+	}
+	if got := BruteChromaticNumber(g, 2); got != 7 {
+		t.Fatalf("brute χ2 = %d, want 7", got)
+	}
+}
+
+// TestDegeneracyGuarantee checks the provable bound on random graphs:
+// Greedy never exceeds 1 + degeneracy(G^h) colors (= the Coloring's
+// Guarantee field, = 1 + max Algorithm-5 upper bound), and the coloring
+// is always valid.
+func TestDegeneracyGuarantee(t *testing.T) {
+	check := func(seed int64) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int(r % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		n := 6 + next(25)
+		b := graph.NewBuilder(n)
+		m := next(3 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(next(n), next(n))
+		}
+		g := b.Build()
+		for h := 1; h <= 3; h++ {
+			dec, err := core.Decompose(g, core.Options{H: h, Workers: 1})
+			if err != nil {
+				return false
+			}
+			c, err := Greedy(g, h, dec)
+			if err != nil {
+				return false
+			}
+			if Verify(g, c) != nil {
+				return false
+			}
+			if c.NumColors > c.Guarantee {
+				return false
+			}
+			ub := core.UpperBounds(g, h, 1)
+			maxUB := int32(0)
+			for _, u := range ub {
+				if u > maxUB {
+					maxUB = u
+				}
+			}
+			if c.Guarantee != 1+int(maxUB) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperBoundHoldsAlmostAlways measures how often the paper's claimed
+// (but not generally valid) bound 1 + Ĉh holds for the greedy coloring:
+// it must hold in the overwhelming majority of random cases (the bound
+// fails only on rare adversarial structures; see Counterexample).
+func TestPaperBoundHoldsAlmostAlways(t *testing.T) {
+	total, within := 0, 0
+	for seed := int64(1); seed <= 120; seed++ {
+		r := seed * 1099511628211
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int(r % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		n := 6 + next(25)
+		b := graph.NewBuilder(n)
+		m := next(3 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(next(n), next(n))
+		}
+		g := b.Build()
+		for h := 1; h <= 3; h++ {
+			dec, err := core.Decompose(g, core.Options{H: h, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Greedy(g, h, dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if c.NumColors <= 1+dec.MaxCoreIndex() {
+				within++
+			}
+		}
+	}
+	if float64(within) < 0.95*float64(total) {
+		t.Fatalf("paper bound held in only %d/%d cases", within, total)
+	}
+}
+
+// TestTheorem1Counterexample pins the reproduction erratum: the paper's
+// Theorem 1 (χh ≤ 1 + Ĉh) fails on a 9-vertex graph where the exact
+// distance-2 chromatic number is 6 but 1 + Ĉ2 = 5. The sound degeneracy
+// bound 1 + degeneracy(G²) still holds.
+func TestTheorem1Counterexample(t *testing.T) {
+	g := Counterexample()
+	h := 2
+	dec, err := core.Decompose(g, core.Options{H: h, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.MaxCoreIndex(); got != 4 {
+		t.Fatalf("Ĉ2 = %d, want 4", got)
+	}
+	chi := BruteChromaticNumber(g, h)
+	if chi != 6 {
+		t.Fatalf("χ2 = %d, want 6", chi)
+	}
+	if chi <= 1+dec.MaxCoreIndex() {
+		t.Fatalf("not a counterexample: χ2=%d ≤ 1+Ĉ2=%d", chi, 1+dec.MaxCoreIndex())
+	}
+	// The degeneracy bound is sound on this graph.
+	c, err := Greedy(g, h, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, c); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumColors < chi {
+		t.Fatalf("greedy beat the exact chromatic number: %d < %d", c.NumColors, chi)
+	}
+	if c.NumColors > c.Guarantee {
+		t.Fatalf("degeneracy guarantee violated: %d > %d", c.NumColors, c.Guarantee)
+	}
+}
+
+// TestGreedyNearOptimalOnTinyGraphs compares greedy to the exact chromatic
+// number: greedy must be valid and can only overshoot.
+func TestGreedyNearOptimalOnTinyGraphs(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		g := gen.ErdosRenyi(8, 12, seed)
+		for h := 1; h <= 3; h++ {
+			exact := BruteChromaticNumber(g, h)
+			c, err := Greedy(g, h, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.NumColors < exact {
+				t.Fatalf("seed %d h=%d: greedy used %d colors, below exact χh=%d (invalid!)",
+					seed, h, c.NumColors, exact)
+			}
+		}
+	}
+}
+
+func TestVerifyCatchesBadColorings(t *testing.T) {
+	g := gen.Path(5)
+	c, err := Greedy(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Coloring{H: 2, Colors: make([]int, 5), NumColors: 1}
+	if Verify(g, bad) == nil {
+		t.Fatal("all-same coloring accepted on a path with h=2")
+	}
+	short := &Coloring{H: 2, Colors: c.Colors[:3], NumColors: c.NumColors}
+	if Verify(g, short) == nil {
+		t.Fatal("short coloring accepted")
+	}
+	neg := &Coloring{H: 2, Colors: []int{-1, 0, 1, 0, 2}, NumColors: 3}
+	if Verify(g, neg) == nil {
+		t.Fatal("negative color accepted")
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := Greedy(g, 0, nil); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+	dec, _ := core.Decompose(g, core.Options{H: 3, Workers: 1})
+	if _, err := Greedy(g, 2, dec); err == nil {
+		t.Fatal("mismatched decomposition accepted")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	c, err := Greedy(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumColors != 0 {
+		t.Fatalf("empty graph used %d colors", c.NumColors)
+	}
+	if BruteChromaticNumber(g, 2) != 0 {
+		t.Fatal("brute on empty graph")
+	}
+}

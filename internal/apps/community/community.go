@@ -1,0 +1,112 @@
+// Package community implements the distance-generalized cocktail party
+// problem of the paper's Appendix B (community search à la Sozio–Gionis):
+// given query vertices Q, find a connected subgraph containing Q that
+// maximizes the minimum h-degree. The optimum is the connected component
+// containing Q of the (k,h)-core with the largest k in which all query
+// vertices are connected.
+package community
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hbfs"
+)
+
+// Community is a solution to the distance-generalized cocktail party
+// problem.
+type Community struct {
+	// H is the distance threshold.
+	H int
+	// K is the minimum h-degree the community guarantees (its core level).
+	K int
+	// Vertices of the community, ascending.
+	Vertices []int
+}
+
+// Search solves the problem for query set Q: it scans core levels from the
+// highest level shared by all query vertices downward, returning the first
+// level whose induced core places all of Q in one connected component.
+// The decomposition, when supplied, must be for the same h; pass nil to
+// compute it. Duplicate query vertices are allowed; at least one is
+// required.
+func Search(g *graph.Graph, h int, query []int, decomposition *core.Result) (*Community, error) {
+	if h < 1 {
+		return nil, fmt.Errorf("community: invalid h=%d", h)
+	}
+	if len(query) == 0 {
+		return nil, fmt.Errorf("community: empty query set")
+	}
+	n := g.NumVertices()
+	for _, q := range query {
+		if q < 0 || q >= n {
+			return nil, fmt.Errorf("community: query vertex %d out of range [0,%d)", q, n)
+		}
+	}
+	if decomposition == nil {
+		var err error
+		decomposition, err = core.Decompose(g, core.Options{H: h, Algorithm: core.HLBUB})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if decomposition.H != h {
+		return nil, fmt.Errorf("community: decomposition computed for h=%d, want %d", decomposition.H, h)
+	}
+
+	// The community's level cannot exceed the weakest query vertex's core.
+	kmax := decomposition.Core[query[0]]
+	for _, q := range query[1:] {
+		if decomposition.Core[q] < kmax {
+			kmax = decomposition.Core[q]
+		}
+	}
+	for k := kmax; k >= 0; k-- {
+		verts := decomposition.CoreVertices(k)
+		sub, orig := g.InducedSubgraph(verts)
+		newID := make(map[int]int, len(orig))
+		for i, ov := range orig {
+			newID[ov] = i
+		}
+		labels, _ := sub.ConnectedComponents()
+		target := labels[newID[query[0]]]
+		ok := true
+		for _, q := range query[1:] {
+			if labels[newID[q]] != target {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		members := make([]int, 0)
+		for i, ov := range orig {
+			if labels[i] == target {
+				members = append(members, ov)
+			}
+		}
+		return &Community{H: h, K: k, Vertices: members}, nil
+	}
+	// k = 0 always succeeds when the query vertices share a component of
+	// g; if they do not, there is no connected subgraph containing Q.
+	return nil, fmt.Errorf("community: query vertices are not connected in g")
+}
+
+// MinHDegree returns the minimum h-degree inside the subgraph of g induced
+// by verts — the objective value of the cocktail party problem.
+func MinHDegree(g *graph.Graph, verts []int, h int) int {
+	if len(verts) == 0 {
+		return 0
+	}
+	sub, _ := g.InducedSubgraph(verts)
+	t := hbfs.NewTraversal(sub)
+	min := sub.NumVertices()
+	for v := 0; v < sub.NumVertices(); v++ {
+		if d := t.HDegree(v, h, nil); d < min {
+			min = d
+		}
+	}
+	return min
+}

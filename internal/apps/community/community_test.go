@@ -1,0 +1,163 @@
+package community
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestSearchOnPaperGraph(t *testing.T) {
+	g := datasets.PaperGraph()
+	// Querying a vertex inside the (6,2)-core returns that core.
+	c, err := Search(g, 2, []int{5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K != 6 {
+		t.Fatalf("community level = %d, want 6", c.K)
+	}
+	if len(c.Vertices) != 10 {
+		t.Fatalf("community size = %d, want 10", len(c.Vertices))
+	}
+	// Including the weakest vertex (paper vertex 1 = id 0, core 4) caps
+	// the level at 4.
+	c2, err := Search(g, 2, []int{0, 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.K != 4 {
+		t.Fatalf("community level with weak query = %d, want 4", c2.K)
+	}
+	if len(c2.Vertices) != 13 {
+		t.Fatalf("community size = %d, want 13", len(c2.Vertices))
+	}
+}
+
+// TestObjectiveOptimality property: the returned community's min h-degree
+// equals the best achievable level (no connected superset or other core
+// level does better), per the Appendix B argument.
+func TestObjectiveOptimality(t *testing.T) {
+	check := func(seed int64) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int(r % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		n := 8 + next(20)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(next(n), next(n))
+		}
+		g := b.Build()
+		h := 1 + next(3)
+		q := []int{next(n)}
+		dec, err := core.Decompose(g, core.Options{H: h, Workers: 1})
+		if err != nil {
+			return false
+		}
+		c, err := Search(g, h, q, dec)
+		if err != nil {
+			// Query vertex isolated from itself is impossible (single
+			// query); Search can only fail here if it has no component,
+			// which cannot happen. Treat as failure.
+			return false
+		}
+		// The objective value must be at least the advertised level and
+		// exactly the query vertex's core index (single-vertex query: the
+		// optimum is its own core).
+		if MinHDegree(g, c.Vertices, h) < c.K {
+			return false
+		}
+		return c.K == dec.Core[q[0]]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiQueryConnectivity(t *testing.T) {
+	// Two K6 cliques joined by a 5-vertex path: the path interior has
+	// 2-degree 4, well below the cliques' level 6, so a cross-clique
+	// query forces the community down to the connecting level while a
+	// same-clique query stays at the clique level.
+	b := graph.NewBuilder(17)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(6+u, 6+v)
+		}
+	}
+	// path 12-13-14-15-16 bridging vertex 0 and vertex 6
+	b.AddEdge(0, 12)
+	for v := 12; v < 16; v++ {
+		b.AddEdge(v, v+1)
+	}
+	b.AddEdge(16, 6)
+	g := b.Build()
+	h := 2
+	c, err := Search(g, h, []int{1, 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Community must contain both query vertices and be connected.
+	has1, has7 := false, false
+	for _, v := range c.Vertices {
+		has1 = has1 || v == 1
+		has7 = has7 || v == 7
+	}
+	if !has1 || !has7 {
+		t.Fatalf("community %v missing query vertices", c.Vertices)
+	}
+	sub, _ := g.InducedSubgraph(c.Vertices)
+	if _, count := sub.ConnectedComponents(); count != 1 {
+		t.Fatal("community disconnected")
+	}
+	// A same-clique query stays at the clique's high level.
+	c2, err := Search(g, h, []int{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.K <= c.K {
+		t.Fatalf("same-clique community (k=%d) should beat cross-clique (k=%d)", c2.K, c.K)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := Search(g, 0, []int{0}, nil); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+	if _, err := Search(g, 2, nil, nil); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := Search(g, 2, []int{99}, nil); err == nil {
+		t.Fatal("out-of-range query accepted")
+	}
+	dec, _ := core.Decompose(g, core.Options{H: 3, Workers: 1})
+	if _, err := Search(g, 2, []int{0}, dec); err == nil {
+		t.Fatal("mismatched decomposition accepted")
+	}
+	// Disconnected query vertices have no connected community.
+	disc := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if _, err := Search(disc, 2, []int{0, 2}, nil); err == nil {
+		t.Fatal("disconnected query accepted")
+	}
+}
+
+func TestMinHDegree(t *testing.T) {
+	g := gen.Clique(5)
+	if MinHDegree(g, []int{0, 1, 2, 3, 4}, 1) != 4 {
+		t.Fatal("K5 min degree != 4")
+	}
+	if MinHDegree(g, nil, 1) != 0 {
+		t.Fatal("empty set min h-degree != 0")
+	}
+}

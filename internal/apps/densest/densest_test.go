@@ -1,0 +1,144 @@
+package densest
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestAverageHDegree(t *testing.T) {
+	// K4: every vertex has h-degree 3 for any h.
+	k4 := gen.Clique(4)
+	if d := AverageHDegree(k4, []int{0, 1, 2, 3}, 2); d != 3 {
+		t.Fatalf("K4 density = %v, want 3", d)
+	}
+	// P4 with h=2: deg² = [2,3,3,2] → 2.5.
+	p4 := gen.Path(4)
+	if d := AverageHDegree(p4, []int{0, 1, 2, 3}, 2); d != 2.5 {
+		t.Fatalf("P4 density = %v, want 2.5", d)
+	}
+	if AverageHDegree(p4, nil, 2) != 0 {
+		t.Fatal("empty set density != 0")
+	}
+	// Density is computed in the induced subgraph: {0,3} in P4 is
+	// disconnected → 0.
+	if d := AverageHDegree(p4, []int{0, 3}, 3); d != 0 {
+		t.Fatalf("disconnected pair density = %v, want 0", d)
+	}
+}
+
+func TestApproximateOnCliquePlusPendant(t *testing.T) {
+	// K5 with a pendant path: the densest distance-2 subgraph is K5.
+	b := graph.NewBuilder(8)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 7)
+	g := b.Build()
+	sub, err := Approximate(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exact(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Density < 3.9 {
+		t.Fatalf("approximation density %v too low (K5 has 4)", sub.Density)
+	}
+	if exact.Density < sub.Density {
+		t.Fatalf("exact %v below approximation %v", exact.Density, sub.Density)
+	}
+}
+
+// TestTheorem4Bound property-checks the approximation guarantee:
+// f(C) ≥ √(f(S*) + 1/4) − 1/2.
+func TestTheorem4Bound(t *testing.T) {
+	check := func(seed int64) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int(r % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		n := 5 + next(7) // ≤ 11 vertices: exact enumeration feasible
+		b := graph.NewBuilder(n)
+		m := next(2*n + 1)
+		for i := 0; i < m; i++ {
+			b.AddEdge(next(n), next(n))
+		}
+		g := b.Build()
+		for h := 1; h <= 3; h++ {
+			approx, err := Approximate(g, h, nil)
+			if err != nil {
+				return false
+			}
+			exact, err := Exact(g, h)
+			if err != nil {
+				return false
+			}
+			bound := math.Sqrt(exact.Density+0.25) - 0.5
+			if approx.Density < bound-1e-9 {
+				return false
+			}
+			if approx.Density > exact.Density+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproximateUsesSuppliedDecomposition(t *testing.T) {
+	g := gen.Communities(40, 6, 4, 8, 0.2, 9)
+	dec, err := core.Decompose(g, core.Options{H: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Approximate(g, 2, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Approximate(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Density != b.Density || a.CoreK != b.CoreK {
+		t.Fatalf("supplied vs computed decomposition disagree: %v vs %v", a, b)
+	}
+	if a.CoreK < 0 {
+		t.Fatal("core-based subgraph must record its core level")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := Approximate(g, 0, nil); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+	dec, _ := core.Decompose(g, core.Options{H: 3, Workers: 1})
+	if _, err := Approximate(g, 2, dec); err == nil {
+		t.Fatal("mismatched decomposition accepted")
+	}
+	if _, err := Exact(gen.Path(25), 2); err == nil {
+		t.Fatal("Exact accepted an oversized graph")
+	}
+	empty := graph.NewBuilder(0).Build()
+	if sub, err := Exact(empty, 2); err != nil || sub.Density != 0 {
+		t.Fatal("empty graph exact")
+	}
+}

@@ -1,0 +1,179 @@
+package hclique
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apps/hclub"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// bruteMaxClique enumerates all subsets (n ≤ 16).
+func bruteMaxClique(g *graph.Graph, h int) int {
+	n := g.NumVertices()
+	best := 0
+	for mask := 1; mask < 1<<n; mask++ {
+		var verts []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				verts = append(verts, v)
+			}
+		}
+		if len(verts) <= best {
+			continue
+		}
+		if IsHClique(g, verts, h) {
+			best = len(verts)
+		}
+	}
+	return best
+}
+
+func randomGraph(seed int64, maxN int) *graph.Graph {
+	r := seed
+	next := func(n int) int {
+		r = r*6364136223846793005 + 1442695040888963407
+		v := int(r % int64(n))
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	n := 5 + next(maxN)
+	b := graph.NewBuilder(n)
+	m := next(2*n + 1)
+	for i := 0; i < m; i++ {
+		b.AddEdge(next(n), next(n))
+	}
+	return b.Build()
+}
+
+func TestIsHClique(t *testing.T) {
+	// Star K_{1,3} (center 0): the leaves {1,2,3} ARE a 2-clique (pairwise
+	// distance 2 through the center, which lies outside the set) but NOT
+	// a 2-club (their induced subgraph is edgeless) — the defining
+	// difference between Definitions 4 and 5.
+	star := gen.Star(4)
+	if !IsHClique(star, []int{1, 2, 3}, 2) {
+		t.Fatal("star leaves should be a 2-clique")
+	}
+	if hclub.IsHClub(star, []int{1, 2, 3}, 2) {
+		t.Fatal("star leaves must not be a 2-club")
+	}
+	// Path 0-1-2-3: endpoints are at distance 3 > 2.
+	g := gen.Path(4)
+	if IsHClique(g, []int{0, 3}, 2) {
+		t.Fatal("{0,3} is at distance 3")
+	}
+	if IsHClique(g, nil, 2) {
+		t.Fatal("empty set accepted")
+	}
+	if !IsHClique(g, []int{2}, 1) {
+		t.Fatal("singleton rejected")
+	}
+}
+
+func TestMaxMatchesBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(seed, 7) // ≤ 11 vertices
+		for h := 1; h <= 3; h++ {
+			want := bruteMaxClique(g, h)
+			got := Max(g, h, Options{})
+			if !got.Exact || len(got.Clique) != want || !IsHClique(g, got.Clique, h) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem2Chain checks w(G) ≤ ŵh(G) ≤ w̃h(G) ≤ 1 + degeneracy(G^h) on
+// random graphs: club ≤ clique (every h-club is an h-clique), 1-clique =
+// classic clique, and the clique is bounded by the power-graph degeneracy
+// (the sound part of the paper's Theorem 2 chain; see the chromatic
+// package for the Theorem 1 erratum).
+func TestTheorem2Chain(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomGraph(seed, 7)
+		for h := 2; h <= 3; h++ {
+			clique := Max(g, h, Options{})
+			club := hclub.Exact(g, h, hclub.Options{})
+			w1 := Max(g, 1, Options{})
+			if !clique.Exact || !club.Exact || !w1.Exact {
+				return false
+			}
+			// w(G) ≤ ŵh ≤ w̃h
+			if len(w1.Clique) > len(club.Club) || len(club.Club) > len(clique.Clique) {
+				return false
+			}
+			// w̃h ≤ 1 + degeneracy(G^h)
+			ub := core.UpperBounds(g, h, 1)
+			maxUB := int32(0)
+			for _, u := range ub {
+				if u > maxUB {
+					maxUB = u
+				}
+			}
+			if len(clique.Clique) > 1+int(maxUB) {
+				return false
+			}
+			// Theorem 3 corollary: ŵh ≤ 1 + Ĉh.
+			dec, err := core.Decompose(g, core.Options{H: h, Workers: 1})
+			if err != nil {
+				return false
+			}
+			if len(club.Club) > 1+dec.MaxCoreIndex() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxOnPaperGraph(t *testing.T) {
+	g := datasets.PaperGraph()
+	// h=1: the paper graph is triangle-free except... compute and verify.
+	r1 := Max(g, 1, Options{})
+	if !r1.Exact || !IsHClique(g, r1.Clique, 1) {
+		t.Fatalf("h=1 result invalid: %+v", r1)
+	}
+	// h=2: must be ≥ the (6,2)-core-derived club bound and ≤ 1+deg(G²).
+	r2 := Max(g, 2, Options{})
+	if !r2.Exact || !IsHClique(g, r2.Clique, 2) {
+		t.Fatalf("h=2 result invalid: %+v", r2)
+	}
+	if len(r2.Clique) < len(r1.Clique) {
+		t.Fatal("ŵ2 < ŵ1 impossible")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	g := gen.ErdosRenyi(60, 250, 9)
+	r := Max(g, 2, Options{MaxNodes: 1})
+	if r.Exact {
+		t.Fatal("1-node budget cannot be exact here")
+	}
+	if len(r.Clique) == 0 || !IsHClique(g, r.Clique, 2) {
+		t.Fatal("budget run must return a valid incumbent")
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	empty := graph.NewBuilder(0).Build()
+	if r := Max(empty, 2, Options{}); !r.Exact || len(r.Clique) != 0 {
+		t.Fatal("empty graph")
+	}
+	single := graph.NewBuilder(1).Build()
+	if r := Max(single, 2, Options{}); len(r.Clique) != 1 {
+		t.Fatal("singleton")
+	}
+}

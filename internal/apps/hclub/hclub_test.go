@@ -1,0 +1,238 @@
+package hclub
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// bruteMaxClub enumerates all vertex subsets (n ≤ 20) and returns the size
+// of a maximum h-club.
+func bruteMaxClub(g *graph.Graph, h int) int {
+	n := g.NumVertices()
+	best := 0
+	for mask := 1; mask < 1<<n; mask++ {
+		size := 0
+		var verts []int
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				size++
+				verts = append(verts, v)
+			}
+		}
+		if size <= best {
+			continue
+		}
+		if IsHClub(g, verts, h) {
+			best = size
+		}
+	}
+	return best
+}
+
+func randomSmallGraph(seed int64) *graph.Graph {
+	r := seed
+	next := func(n int) int {
+		r = r*6364136223846793005 + 1442695040888963407
+		v := int(r % int64(n))
+		if v < 0 {
+			v = -v
+		}
+		return v
+	}
+	n := 5 + next(7) // 5..11 vertices: brute force stays cheap
+	b := graph.NewBuilder(n)
+	m := next(2*n + 1)
+	for i := 0; i < m; i++ {
+		b.AddEdge(next(n), next(n))
+	}
+	return b.Build()
+}
+
+func TestIsHClub(t *testing.T) {
+	// Path 0-1-2-3: {0,1,2} is a 2-club; {0,1,3} induces a disconnected
+	// graph, not a club; {0,3} likewise.
+	g := gen.Path(4)
+	if !IsHClub(g, []int{0, 1, 2}, 2) {
+		t.Fatal("{0,1,2} should be a 2-club")
+	}
+	if IsHClub(g, []int{0, 1, 3}, 2) {
+		t.Fatal("{0,1,3} is not a 2-club (induced subgraph disconnected)")
+	}
+	if IsHClub(g, nil, 2) {
+		t.Fatal("empty set is not a club")
+	}
+	if !IsHClub(g, []int{2}, 1) {
+		t.Fatal("singletons are clubs")
+	}
+	// The classic h-club subtlety: a subset of an h-club need not be an
+	// h-club. {0,1,2,3} in P4 is a 3-club but {0,1,3} is not.
+	if !IsHClub(g, []int{0, 1, 2, 3}, 3) {
+		t.Fatal("whole path should be a 3-club")
+	}
+}
+
+func TestDropProducesClub(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 10, 99} {
+		g := randomSmallGraph(seed)
+		for h := 1; h <= 3; h++ {
+			club := Drop(g, h)
+			if len(club) == 0 {
+				t.Fatalf("seed %d h=%d: empty Drop result", seed, h)
+			}
+			if !IsHClub(g, club, h) {
+				t.Fatalf("seed %d h=%d: Drop returned a non-club %v", seed, h, club)
+			}
+		}
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomSmallGraph(seed)
+		for h := 1; h <= 3; h++ {
+			want := bruteMaxClub(g, h)
+			got := Exact(g, h, Options{})
+			if !got.Exact || len(got.Club) != want || !IsHClub(g, got.Club, h) {
+				return false
+			}
+			it := ExactIterative(g, h, Options{})
+			if !it.Exact || len(it.Club) != want || !IsHClub(g, it.Club, h) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithCoresMatchesDirect(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomSmallGraph(seed)
+		for h := 2; h <= 3; h++ {
+			dec, err := core.Decompose(g, core.Options{H: h, Workers: 1})
+			if err != nil {
+				return false
+			}
+			want := bruteMaxClub(g, h)
+			got, err := WithCores(g, h, dec, Exact, Options{})
+			if err != nil || !got.Exact || len(got.Club) != want || !IsHClub(g, got.Club, h) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem3 property: every h-club of size k+1 is inside the (k,h)-core.
+func TestTheorem3ClubInsideCore(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randomSmallGraph(seed)
+		for h := 2; h <= 3; h++ {
+			dec, err := core.Decompose(g, core.Options{H: h, Workers: 1})
+			if err != nil {
+				return false
+			}
+			club := Exact(g, h, Options{}).Club
+			k := len(club) - 1
+			for _, v := range club {
+				if dec.Core[v] < k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem2Chain checks w(G) ≤ ŵh(G) ≤ 1 + Ĉh(G) (the ends of the
+// Theorem 2 inequality chain that the library exposes).
+func TestTheorem2Chain(t *testing.T) {
+	g := datasets.PaperGraph()
+	for h := 2; h <= 3; h++ {
+		dec, err := core.Decompose(g, core.Options{H: h, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		club := Exact(g, h, Options{})
+		if !club.Exact {
+			t.Fatal("paper graph solvable exactly")
+		}
+		if len(club.Club) > 1+dec.MaxCoreIndex() {
+			t.Fatalf("h=%d: ŵh=%d exceeds 1+Ĉh=%d", h, len(club.Club), 1+dec.MaxCoreIndex())
+		}
+	}
+}
+
+func TestWithCoresWrapperIsCheaper(t *testing.T) {
+	// On a graph with a pronounced dense core, Algorithm 7 must explore
+	// far fewer branch-and-bound nodes than solving the whole graph.
+	g := gen.Communities(120, 16, 5, 10, 0.3, 7)
+	h := 2
+	dec, err := core.Decompose(g, core.Options{H: h, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := Exact(g, h, Options{})
+	wrapped, err := WithCores(g, h, dec, Exact, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.Exact || !wrapped.Exact {
+		t.Fatal("both solvers should finish exactly at this size")
+	}
+	if len(direct.Club) != len(wrapped.Club) {
+		t.Fatalf("club sizes disagree: direct %d wrapped %d", len(direct.Club), len(wrapped.Club))
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	g := gen.ErdosRenyi(60, 200, 3)
+	r := Exact(g, 2, Options{MaxNodes: 1})
+	if r.Exact {
+		t.Fatal("1-node budget cannot prove optimality on a non-trivial graph")
+	}
+	if len(r.Club) == 0 {
+		t.Fatal("budget-limited solver must still return its incumbent")
+	}
+	if !IsHClub(g, r.Club, 2) {
+		t.Fatal("incumbent is not a club")
+	}
+}
+
+func TestWithCoresErrors(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := WithCores(g, 2, nil, Exact, Options{}); err == nil {
+		t.Fatal("nil decomposition accepted")
+	}
+	dec, _ := core.Decompose(g, core.Options{H: 3, Workers: 1})
+	if _, err := WithCores(g, 2, dec, Exact, Options{}); err == nil {
+		t.Fatal("mismatched h accepted")
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	empty := graph.NewBuilder(0).Build()
+	if r := Exact(empty, 2, Options{}); !r.Exact || len(r.Club) != 0 {
+		t.Fatal("empty graph")
+	}
+	single := graph.NewBuilder(1).Build()
+	if r := Exact(single, 2, Options{}); len(r.Club) != 1 {
+		t.Fatal("single vertex graph must yield the singleton club")
+	}
+	if r := ExactIterative(empty, 2, Options{}); !r.Exact {
+		t.Fatal("empty graph iterative")
+	}
+}

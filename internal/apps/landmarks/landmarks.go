@@ -1,0 +1,209 @@
+// Package landmarks implements the landmark-based shortest-path distance
+// oracle of the paper's §6.6 experiment. A set of landmark vertices is
+// selected (the paper's proposal: uniformly from the maximum (k,h)-core);
+// BFS distances from every landmark are precomputed; and point-to-point
+// distances are estimated from the triangle-inequality sandwich
+//
+//	max_u |d(s,u) − d(u,t)|  ≤  d(s,t)  ≤  min_u d(s,u) + d(u,t).
+//
+// Baselines: top-ℓ closeness, top-ℓ betweenness and top-ℓ h-degree.
+package landmarks
+
+import (
+	"fmt"
+
+	"repro/internal/centrality"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Oracle is a landmark distance oracle over a fixed graph.
+type Oracle struct {
+	g         *graph.Graph
+	landmarks []int
+	dist      [][]int32 // dist[i][v] = d(landmarks[i], v), -1 unreachable
+}
+
+// NewOracle precomputes BFS distances from each landmark.
+func NewOracle(g *graph.Graph, landmarks []int) (*Oracle, error) {
+	if len(landmarks) == 0 {
+		return nil, fmt.Errorf("landmarks: empty landmark set")
+	}
+	n := g.NumVertices()
+	o := &Oracle{g: g, landmarks: append([]int(nil), landmarks...)}
+	o.dist = make([][]int32, len(landmarks))
+	for i, l := range landmarks {
+		if l < 0 || l >= n {
+			return nil, fmt.Errorf("landmarks: landmark %d out of range [0,%d)", l, n)
+		}
+		o.dist[i] = g.BFSDistances(l)
+	}
+	return o, nil
+}
+
+// Landmarks returns the oracle's landmark vertices.
+func (o *Oracle) Landmarks() []int { return o.landmarks }
+
+// Bounds returns the lower and upper triangle-inequality bounds on
+// d(s, t). ok is false when no landmark reaches both endpoints (the
+// bounds are then meaningless).
+func (o *Oracle) Bounds(s, t int) (lb, ub int, ok bool) {
+	if s == t {
+		return 0, 0, true
+	}
+	lb, ub = 0, 1<<30
+	for i := range o.dist {
+		ds, dt := o.dist[i][s], o.dist[i][t]
+		if ds < 0 || dt < 0 {
+			continue
+		}
+		ok = true
+		if d := int(ds) + int(dt); d < ub {
+			ub = d
+		}
+		diff := int(ds) - int(dt)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > lb {
+			lb = diff
+		}
+	}
+	return lb, ub, ok
+}
+
+// Estimate returns the paper's point estimate (LB+UB)/2 for d(s, t).
+func (o *Oracle) Estimate(s, t int) (float64, bool) {
+	lb, ub, ok := o.Bounds(s, t)
+	if !ok {
+		return 0, false
+	}
+	return (float64(lb) + float64(ub)) / 2, true
+}
+
+// Strategy names a landmark-selection method of the Table 7 comparison.
+type Strategy string
+
+// Selection strategies compared in Table 7.
+const (
+	// MaxCore samples landmarks uniformly from the maximum (k,h)-core
+	// (the paper's proposal; the h is the decomposition's).
+	MaxCore Strategy = "max-core"
+	// Closeness takes the top-ℓ closeness-centrality vertices.
+	Closeness Strategy = "closeness"
+	// Betweenness takes the top-ℓ betweenness-centrality vertices.
+	Betweenness Strategy = "betweenness"
+	// HDegree takes the top-ℓ vertices by h-degree.
+	HDegree Strategy = "h-degree"
+)
+
+// Select picks ell landmarks with the given strategy. For MaxCore the
+// decomposition must be non-nil (its h determines which core is used) and
+// landmarks are drawn uniformly (seeded) from the top core, falling back
+// to lower cores when the top core is smaller than ell. For HDegree the
+// h parameter sets the neighborhood radius. workers ≤ 0 selects NumCPU.
+func Select(g *graph.Graph, strategy Strategy, ell int, h int, decomposition *core.Result, seed uint64, workers int) ([]int, error) {
+	n := g.NumVertices()
+	if ell <= 0 {
+		return nil, fmt.Errorf("landmarks: ell must be positive")
+	}
+	if ell > n {
+		ell = n
+	}
+	switch strategy {
+	case MaxCore:
+		if decomposition == nil {
+			return nil, fmt.Errorf("landmarks: MaxCore selection needs a decomposition")
+		}
+		return selectFromTopCore(decomposition, ell, seed), nil
+	case Closeness:
+		return centrality.TopK(centrality.Closeness(g, workers), ell), nil
+	case Betweenness:
+		return centrality.TopK(centrality.Betweenness(g, workers), ell), nil
+	case HDegree:
+		if h < 1 {
+			return nil, fmt.Errorf("landmarks: HDegree selection needs h ≥ 1")
+		}
+		return centrality.TopKInt(core.HDegrees(g, h, workers), ell), nil
+	default:
+		return nil, fmt.Errorf("landmarks: unknown strategy %q", strategy)
+	}
+}
+
+// selectFromTopCore samples ell vertices uniformly from the maximum core;
+// if the top core has fewer than ell members, the next cores are added
+// (in core-index order) before sampling.
+func selectFromTopCore(dec *core.Result, ell int, seed uint64) []int {
+	k := dec.MaxCoreIndex()
+	pool := dec.CoreVertices(k)
+	for len(pool) < ell && k > 0 {
+		k--
+		pool = dec.CoreVertices(k)
+	}
+	if len(pool) <= ell {
+		return pool
+	}
+	r := gen.NewRNG(seed)
+	picks := make([]int, 0, ell)
+	perm := r.Perm(len(pool))
+	for _, i := range perm[:ell] {
+		picks = append(picks, pool[i])
+	}
+	return picks
+}
+
+// Evaluation summarizes oracle accuracy over sampled vertex pairs.
+type Evaluation struct {
+	// Pairs is the number of (connected, distinct) pairs evaluated.
+	Pairs int
+	// MeanRelError is the paper's metric: mean over pairs of
+	// |(LB+UB)/2 − d| / d.
+	MeanRelError float64
+	// BoundViolations counts pairs where the true distance escaped
+	// [LB, UB] — always 0 for a correct oracle.
+	BoundViolations int
+}
+
+// Evaluate samples `pairs` random connected (s,t) pairs (s ≠ t) and
+// measures the mean relative error of the oracle's estimates, mirroring
+// the paper's 500-pair protocol.
+func Evaluate(g *graph.Graph, o *Oracle, pairs int, seed uint64) Evaluation {
+	n := g.NumVertices()
+	ev := Evaluation{}
+	if n < 2 || pairs <= 0 {
+		return ev
+	}
+	r := gen.NewRNG(seed)
+	sumRel := 0.0
+	attempts := 0
+	for ev.Pairs < pairs && attempts < 50*pairs {
+		attempts++
+		s, t := r.Intn(n), r.Intn(n)
+		if s == t {
+			continue
+		}
+		d := g.Distance(s, t)
+		if d <= 0 {
+			continue // disconnected pair
+		}
+		lb, ub, ok := o.Bounds(s, t)
+		if !ok {
+			continue
+		}
+		if lb > d || d > ub {
+			ev.BoundViolations++
+		}
+		est := (float64(lb) + float64(ub)) / 2
+		rel := est - float64(d)
+		if rel < 0 {
+			rel = -rel
+		}
+		sumRel += rel / float64(d)
+		ev.Pairs++
+	}
+	if ev.Pairs > 0 {
+		ev.MeanRelError = sumRel / float64(ev.Pairs)
+	}
+	return ev
+}

@@ -1,0 +1,198 @@
+package landmarks
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestOracleBoundsOnPath(t *testing.T) {
+	// P7 with landmarks at an endpoint and the middle. For the pair
+	// (0, 6): the endpoint landmark 0 gives LB = |0−6| = 6 and the
+	// on-path landmark 3 gives UB = 3+3 = 6, so the estimate is exact.
+	g := gen.Path(7)
+	o, err := NewOracle(g, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Landmarks(); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("Landmarks() = %v", got)
+	}
+	lb, ub, ok := o.Bounds(0, 6)
+	if !ok || lb != 6 || ub != 6 {
+		t.Fatalf("Bounds(0,6) = %d,%d,%v want 6,6,true", lb, ub, ok)
+	}
+	est, ok := o.Estimate(0, 6)
+	if !ok || est != 6 {
+		t.Fatalf("Estimate(0,6) = %v", est)
+	}
+	// Middle landmark alone gives the loose sandwich [0, 6] for (0, 6).
+	mid, err := NewOracle(g, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, ub, ok = mid.Bounds(0, 6)
+	if !ok || lb != 0 || ub != 6 {
+		t.Fatalf("middle-landmark Bounds(0,6) = %d,%d want 0,6", lb, ub)
+	}
+	if lb, ub, _ := o.Bounds(2, 2); lb != 0 || ub != 0 {
+		t.Fatal("self-distance bounds wrong")
+	}
+}
+
+// TestBoundsSandwichProperty: for random graphs and landmark sets, the
+// true distance always lies in [LB, UB].
+func TestBoundsSandwichProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int(r % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		n := 10 + next(30)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(next(n), next(n))
+		}
+		g := b.Build()
+		lms := []int{next(n), next(n), next(n)}
+		o, err := NewOracle(g, lms)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			s, t := next(n), next(n)
+			d := g.Distance(s, t)
+			if d < 0 {
+				continue
+			}
+			lb, ub, ok := o.Bounds(s, t)
+			if !ok {
+				continue
+			}
+			if lb > d || d > ub {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectStrategies(t *testing.T) {
+	g := gen.Communities(80, 12, 5, 9, 0.3, 13)
+	dec, err := core.Decompose(g, core.Options{H: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{MaxCore, Closeness, Betweenness, HDegree} {
+		lms, err := Select(g, s, 5, 2, dec, 7, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if len(lms) != 5 {
+			t.Fatalf("%s: got %d landmarks, want 5", s, len(lms))
+		}
+		seen := map[int]bool{}
+		for _, l := range lms {
+			if l < 0 || l >= g.NumVertices() || seen[l] {
+				t.Fatalf("%s: bad landmark set %v", s, lms)
+			}
+			seen[l] = true
+		}
+	}
+	// MaxCore landmarks actually come from the top core (or as deep as
+	// the requested count allows).
+	lms, _ := Select(g, MaxCore, 3, 2, dec, 7, 1)
+	top := dec.MaxCoreIndex()
+	pool := dec.CoreVertices(top)
+	for len(pool) < 3 && top > 0 {
+		top--
+		pool = dec.CoreVertices(top)
+	}
+	inPool := map[int]bool{}
+	for _, v := range pool {
+		inPool[v] = true
+	}
+	for _, l := range lms {
+		if !inPool[l] {
+			t.Fatalf("MaxCore landmark %d outside core pool", l)
+		}
+	}
+}
+
+func TestSelectDeterminism(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 31)
+	dec, _ := core.Decompose(g, core.Options{H: 2, Workers: 1})
+	a, _ := Select(g, MaxCore, 4, 2, dec, 42, 1)
+	b, _ := Select(g, MaxCore, 4, 2, dec, 42, 1)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic selection")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic selection")
+		}
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := Select(g, MaxCore, 0, 2, nil, 1, 1); err == nil {
+		t.Fatal("ell=0 accepted")
+	}
+	if _, err := Select(g, MaxCore, 2, 2, nil, 1, 1); err == nil {
+		t.Fatal("MaxCore without decomposition accepted")
+	}
+	if _, err := Select(g, Strategy("bogus"), 2, 2, nil, 1, 1); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if _, err := Select(g, HDegree, 2, 0, nil, 1, 1); err == nil {
+		t.Fatal("HDegree with h=0 accepted")
+	}
+	if _, err := NewOracle(g, nil); err == nil {
+		t.Fatal("empty landmark set accepted")
+	}
+	if _, err := NewOracle(g, []int{99}); err == nil {
+		t.Fatal("out-of-range landmark accepted")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	g := gen.Communities(120, 18, 5, 9, 0.3, 17)
+	dec, err := core.Decompose(g, core.Options{H: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lms, err := Select(g, MaxCore, 8, 2, dec, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOracle(g, lms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(g, o, 100, 9)
+	if ev.Pairs == 0 {
+		t.Fatal("no pairs evaluated")
+	}
+	if ev.BoundViolations != 0 {
+		t.Fatalf("%d bound violations — oracle unsound", ev.BoundViolations)
+	}
+	if ev.MeanRelError < 0 || ev.MeanRelError > 2 {
+		t.Fatalf("implausible mean relative error %v", ev.MeanRelError)
+	}
+	// Degenerate inputs.
+	if ev := Evaluate(gen.Path(1), o, 10, 1); ev.Pairs != 0 {
+		t.Fatal("single-vertex evaluation should yield no pairs")
+	}
+}

@@ -1,0 +1,149 @@
+// Package bucket implements the bucket queue ("vector of lists") used by
+// the peeling algorithms: vertices are kept in buckets indexed by their
+// current (bounded) h-degree, and moving a vertex between arbitrary buckets
+// is O(1). A flat-array bucket (as in Khaouid et al. for classic cores)
+// would be linear per move because a single deletion can decrease an
+// h-degree by more than one (paper §4.1, footnote 2); the intrusive
+// doubly-linked lists used here avoid that.
+package bucket
+
+// none marks an absent link or bucket.
+const none int32 = -1
+
+// Queue holds up to n vertices (ids 0..n-1) distributed over buckets
+// 0..maxKey. Each vertex is in at most one bucket.
+type Queue struct {
+	head []int32 // bucket -> first vertex or none
+	next []int32 // vertex -> next in bucket
+	prev []int32 // vertex -> previous in bucket
+	key  []int32 // vertex -> current bucket or none
+	size int     // number of vertices currently queued
+}
+
+// New creates a queue for n vertices with keys in [0, maxKey].
+func New(n, maxKey int) *Queue {
+	q := &Queue{
+		head: make([]int32, maxKey+1),
+		next: make([]int32, n),
+		prev: make([]int32, n),
+		key:  make([]int32, n),
+	}
+	for i := range q.head {
+		q.head[i] = none
+	}
+	for i := 0; i < n; i++ {
+		q.next[i] = none
+		q.prev[i] = none
+		q.key[i] = none
+	}
+	return q
+}
+
+// Len returns the number of queued vertices.
+func (q *Queue) Len() int { return q.size }
+
+// MaxKey returns the largest usable key.
+func (q *Queue) MaxKey() int { return len(q.head) - 1 }
+
+// Contains reports whether v is currently queued.
+func (q *Queue) Contains(v int) bool { return q.key[v] != none }
+
+// Key returns the bucket of v, or -1 if v is not queued.
+func (q *Queue) Key(v int) int { return int(q.key[v]) }
+
+// Insert places v into bucket k. v must not already be queued.
+func (q *Queue) Insert(v, k int) {
+	if q.key[v] != none {
+		panic("bucket: Insert of queued vertex")
+	}
+	q.link(int32(v), int32(k))
+	q.size++
+}
+
+// Remove deletes v from its bucket. v must be queued.
+func (q *Queue) Remove(v int) {
+	if q.key[v] == none {
+		panic("bucket: Remove of vertex not queued")
+	}
+	q.unlink(int32(v))
+	q.size--
+}
+
+// Move relocates v to bucket k in O(1). v must be queued. Moving to the
+// current bucket is a no-op.
+func (q *Queue) Move(v, k int) {
+	if q.key[v] == none {
+		panic("bucket: Move of vertex not queued")
+	}
+	if int(q.key[v]) == k {
+		return
+	}
+	q.unlink(int32(v))
+	q.link(int32(v), int32(k))
+}
+
+// PopMin removes and returns an arbitrary vertex from the lowest non-empty
+// bucket with key ≥ from, returning the vertex and its key, or (-1, -1)
+// when every bucket ≥ from is empty. Scanning resumes from the caller's
+// cursor, so a full peeling pass costs O(n + maxKey) total when the caller
+// never asks for a key below a previously returned one.
+func (q *Queue) PopMin(from int) (v, k int) {
+	for key := from; key < len(q.head); key++ {
+		if h := q.head[key]; h != none {
+			q.unlink(h)
+			q.size--
+			return int(h), key
+		}
+	}
+	return -1, -1
+}
+
+// PopFrom removes and returns an arbitrary vertex from bucket k, or -1 when
+// the bucket is empty.
+func (q *Queue) PopFrom(k int) int {
+	h := q.head[k]
+	if h == none {
+		return -1
+	}
+	q.unlink(h)
+	q.size--
+	return int(h)
+}
+
+// Clear empties the queue (all vertices become unqueued) in O(n + maxKey).
+func (q *Queue) Clear() {
+	for i := range q.head {
+		q.head[i] = none
+	}
+	for i := range q.key {
+		q.key[i] = none
+		q.next[i] = none
+		q.prev[i] = none
+	}
+	q.size = 0
+}
+
+func (q *Queue) link(v, k int32) {
+	q.key[v] = k
+	q.prev[v] = none
+	q.next[v] = q.head[k]
+	if q.head[k] != none {
+		q.prev[q.head[k]] = v
+	}
+	q.head[k] = v
+}
+
+func (q *Queue) unlink(v int32) {
+	k := q.key[v]
+	if q.prev[v] != none {
+		q.next[q.prev[v]] = q.next[v]
+	} else {
+		q.head[k] = q.next[v]
+	}
+	if q.next[v] != none {
+		q.prev[q.next[v]] = q.prev[v]
+	}
+	q.key[v] = none
+	q.next[v] = none
+	q.prev[v] = none
+}

@@ -1,0 +1,167 @@
+package bucket
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	q := New(5, 10)
+	if q.Len() != 0 || q.MaxKey() != 10 {
+		t.Fatal("fresh queue wrong")
+	}
+	q.Insert(0, 3)
+	q.Insert(1, 3)
+	q.Insert(2, 7)
+	if q.Len() != 3 || !q.Contains(0) || q.Contains(4) {
+		t.Fatal("insert/contains wrong")
+	}
+	if q.Key(2) != 7 || q.Key(4) != -1 {
+		t.Fatal("Key wrong")
+	}
+	v, k := q.PopMin(0)
+	if k != 3 || (v != 0 && v != 1) {
+		t.Fatalf("PopMin = %d,%d", v, k)
+	}
+	q.Move(2, 1)
+	v, k = q.PopMin(0)
+	if v != 2 || k != 1 {
+		t.Fatalf("PopMin after move = %d,%d", v, k)
+	}
+	q.Remove(func() int { v, _ := q.PopMin(0); q.Insert(v, 9); return v }())
+	if q.Len() != 0 {
+		t.Fatal("queue should be empty")
+	}
+	v, k = q.PopMin(0)
+	if v != -1 || k != -1 {
+		t.Fatal("PopMin on empty should report -1")
+	}
+}
+
+func TestPopFrom(t *testing.T) {
+	q := New(4, 5)
+	q.Insert(0, 2)
+	q.Insert(1, 2)
+	q.Insert(2, 4)
+	if v := q.PopFrom(3); v != -1 {
+		t.Fatalf("PopFrom(3) = %d, want -1", v)
+	}
+	seen := map[int]bool{}
+	seen[q.PopFrom(2)] = true
+	seen[q.PopFrom(2)] = true
+	if !seen[0] || !seen[1] {
+		t.Fatalf("PopFrom(2) returned %v", seen)
+	}
+	if v := q.PopFrom(2); v != -1 {
+		t.Fatal("bucket 2 should be empty")
+	}
+}
+
+func TestMoveNoopAndClear(t *testing.T) {
+	q := New(3, 6)
+	q.Insert(0, 2)
+	q.Move(0, 2) // no-op
+	if q.Key(0) != 2 {
+		t.Fatal("no-op move changed key")
+	}
+	q.Insert(1, 0)
+	q.Clear()
+	if q.Len() != 0 || q.Contains(0) || q.Contains(1) {
+		t.Fatal("Clear failed")
+	}
+	q.Insert(0, 6) // reusable after clear
+	if q.Key(0) != 6 {
+		t.Fatal("insert after clear failed")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	q := New(2, 3)
+	q.Insert(0, 1)
+	mustPanic(t, "double insert", func() { q.Insert(0, 2) })
+	mustPanic(t, "remove missing", func() { q.Remove(1) })
+	mustPanic(t, "move missing", func() { q.Move(1, 2) })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+// TestAgainstMapModel property-checks the queue against a trivial
+// map-based model under random operation sequences.
+func TestAgainstMapModel(t *testing.T) {
+	check := func(seed int64, ops []byte) bool {
+		const n, maxKey = 20, 15
+		q := New(n, maxKey)
+		model := map[int]int{} // vertex -> key
+		r := seed
+		next := func(mod int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int(r % int64(mod))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		for _, op := range ops {
+			switch op % 4 {
+			case 0: // insert
+				v := next(n)
+				if _, ok := model[v]; !ok {
+					k := next(maxKey + 1)
+					q.Insert(v, k)
+					model[v] = k
+				}
+			case 1: // move
+				v := next(n)
+				if _, ok := model[v]; ok {
+					k := next(maxKey + 1)
+					q.Move(v, k)
+					model[v] = k
+				}
+			case 2: // remove
+				v := next(n)
+				if _, ok := model[v]; ok {
+					q.Remove(v)
+					delete(model, v)
+				}
+			case 3: // popmin
+				v, k := q.PopMin(0)
+				if len(model) == 0 {
+					if v != -1 {
+						return false
+					}
+					continue
+				}
+				wantMin := maxKey + 1
+				for _, mk := range model {
+					if mk < wantMin {
+						wantMin = mk
+					}
+				}
+				if k != wantMin || model[v] != k {
+					return false
+				}
+				delete(model, v)
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+			for v, k := range model {
+				if !q.Contains(v) || q.Key(v) != k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

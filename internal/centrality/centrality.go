@@ -1,0 +1,205 @@
+// Package centrality implements the closeness and betweenness centrality
+// measures used as landmark-selection baselines in the paper's §6.6
+// experiment, plus top-k selection helpers.
+package centrality
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Closeness returns the closeness centrality of every vertex, using the
+// component-aware normalization of Wasserman–Faust: for vertex v reaching
+// r-1 other vertices with total distance s,
+//
+//	C(v) = ((r-1)/(n-1)) · ((r-1)/s),
+//
+// which is comparable across components. Isolated vertices score 0.
+// workers ≤ 0 selects NumCPU.
+func Closeness(g *graph.Graph, workers int) []float64 {
+	n := g.NumVertices()
+	out := make([]float64, n)
+	if n < 2 {
+		return out
+	}
+	parallelFor(n, workers, func(worker, v int) {
+		dist := g.BFSDistances(v)
+		reached, sum := 0, 0
+		for _, d := range dist {
+			if d > 0 {
+				reached++
+				sum += int(d)
+			}
+		}
+		if sum == 0 {
+			return
+		}
+		r := float64(reached)
+		out[v] = (r / float64(n-1)) * (r / float64(sum))
+	})
+	return out
+}
+
+// Betweenness computes the (unnormalized) shortest-path betweenness
+// centrality of every vertex with Brandes' algorithm: one augmented BFS
+// per source, O(|V|·|E|) total for unweighted graphs. Each pair (s,t) is
+// counted once (undirected halving applied). workers ≤ 0 selects NumCPU.
+func Betweenness(g *graph.Graph, workers int) []float64 {
+	n := g.NumVertices()
+	out := make([]float64, n)
+	if n < 3 {
+		return out
+	}
+	var mu sync.Mutex
+	type scratch struct {
+		dist  []int32
+		sigma []float64
+		delta []float64
+		queue []int32
+		stack []int32
+		local []float64
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var cursor int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &scratch{
+				dist:  make([]int32, n),
+				sigma: make([]float64, n),
+				delta: make([]float64, n),
+				queue: make([]int32, 0, n),
+				stack: make([]int32, 0, n),
+				local: make([]float64, n),
+			}
+			for {
+				s := int(atomic.AddInt64(&cursor, 1)) - 1
+				if s >= n {
+					break
+				}
+				brandesFrom(g, s, sc.dist, sc.sigma, sc.delta, &sc.queue, &sc.stack, sc.local)
+			}
+			mu.Lock()
+			for v := range out {
+				out[v] += sc.local[v]
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	// Undirected graphs count every pair twice.
+	for v := range out {
+		out[v] /= 2
+	}
+	return out
+}
+
+func brandesFrom(g *graph.Graph, s int, dist []int32, sigma, delta []float64, queue, stack *[]int32, acc []float64) {
+	n := g.NumVertices()
+	for i := 0; i < n; i++ {
+		dist[i] = -1
+		sigma[i] = 0
+		delta[i] = 0
+	}
+	q := (*queue)[:0]
+	st := (*stack)[:0]
+	dist[s] = 0
+	sigma[s] = 1
+	q = append(q, int32(s))
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		st = append(st, v)
+		for _, u := range g.Neighbors(int(v)) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				q = append(q, u)
+			}
+			if dist[u] == dist[v]+1 {
+				sigma[u] += sigma[v]
+			}
+		}
+	}
+	for i := len(st) - 1; i >= 0; i-- {
+		w := st[i]
+		for _, u := range g.Neighbors(int(w)) {
+			if dist[u] == dist[w]-1 {
+				delta[u] += sigma[u] / sigma[w] * (1 + delta[w])
+			}
+		}
+		if int(w) != s {
+			acc[w] += delta[w]
+		}
+	}
+	*queue = q
+	*stack = st
+}
+
+// TopK returns the indices of the k largest scores, ties broken by lower
+// vertex id, sorted by descending score.
+func TopK(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] > scores[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// TopKInt is TopK for integer scores (e.g. h-degrees).
+func TopKInt(scores []int32, k int) []int {
+	f := make([]float64, len(scores))
+	for i, s := range scores {
+		f[i] = float64(s)
+	}
+	return TopK(f, k)
+}
+
+func parallelFor(n, workers int, fn func(worker, i int)) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 || n < 2*workers {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var cursor int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&cursor, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,120 @@
+package centrality
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestClosenessOnPath(t *testing.T) {
+	// P5: 0-1-2-3-4. Center has distance sum 1+1+2+2=6, ends 1+2+3+4=10.
+	g := gen.Path(5)
+	c := Closeness(g, 1)
+	if !almostEqual(c[2], 4.0/6.0) {
+		t.Fatalf("closeness(center) = %v, want %v", c[2], 4.0/6.0)
+	}
+	if !almostEqual(c[0], 4.0/10.0) {
+		t.Fatalf("closeness(end) = %v, want %v", c[0], 4.0/10.0)
+	}
+	if c[2] <= c[1] || c[1] <= c[0] {
+		t.Fatal("closeness not monotone toward the center of a path")
+	}
+}
+
+func TestClosenessDisconnected(t *testing.T) {
+	// Edge 0-1 plus isolated 2: per Wasserman–Faust, C(0) = (1/2)·(1/1).
+	g := graph.FromEdges(3, [][2]int{{0, 1}})
+	c := Closeness(g, 1)
+	if !almostEqual(c[0], 0.5) {
+		t.Fatalf("closeness(0) = %v, want 0.5", c[0])
+	}
+	if c[2] != 0 {
+		t.Fatalf("isolated closeness = %v, want 0", c[2])
+	}
+}
+
+func TestBetweennessOnPath(t *testing.T) {
+	// P5: betweenness of vertex i counts pairs separated by it:
+	// v1: {0}×{2,3,4} = 3; v2: {0,1}×{3,4} = 4; v3: 3; ends: 0.
+	g := gen.Path(5)
+	b := Betweenness(g, 1)
+	want := []float64{0, 3, 4, 3, 0}
+	for v := range want {
+		if !almostEqual(b[v], want[v]) {
+			t.Fatalf("betweenness = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestBetweennessOnStar(t *testing.T) {
+	// Star K_{1,5}: center mediates all C(5,2)=10 leaf pairs.
+	g := gen.Star(6)
+	b := Betweenness(g, 1)
+	if !almostEqual(b[0], 10) {
+		t.Fatalf("star center betweenness = %v, want 10", b[0])
+	}
+	for v := 1; v < 6; v++ {
+		if !almostEqual(b[v], 0) {
+			t.Fatalf("leaf betweenness = %v, want 0", b[v])
+		}
+	}
+}
+
+func TestBetweennessSplitPaths(t *testing.T) {
+	// Square 0-1-2-3-0: two shortest paths between opposite corners, each
+	// middle vertex carries half a pair: b = 0.5 each.
+	g := gen.Cycle(4)
+	b := Betweenness(g, 1)
+	for v := 0; v < 4; v++ {
+		if !almostEqual(b[v], 0.5) {
+			t.Fatalf("C4 betweenness = %v, want all 0.5", b)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, 77)
+	c1 := Closeness(g, 1)
+	c4 := Closeness(g, 4)
+	b1 := Betweenness(g, 1)
+	b4 := Betweenness(g, 4)
+	for v := range c1 {
+		if !almostEqual(c1[v], c4[v]) {
+			t.Fatalf("closeness differs at %d: %v vs %v", v, c1[v], c4[v])
+		}
+		if math.Abs(b1[v]-b4[v]) > 1e-6 {
+			t.Fatalf("betweenness differs at %d: %v vs %v", v, b1[v], b4[v])
+		}
+	}
+}
+
+func TestTrivialGraphs(t *testing.T) {
+	empty := graph.NewBuilder(0).Build()
+	if len(Closeness(empty, 1)) != 0 || len(Betweenness(empty, 1)) != 0 {
+		t.Fatal("empty graph")
+	}
+	single := graph.NewBuilder(1).Build()
+	if Closeness(single, 1)[0] != 0 || Betweenness(single, 1)[0] != 0 {
+		t.Fatal("single vertex")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.5, 2.0, 1.0, 2.0, 0.1}
+	top := TopK(scores, 3)
+	// Ties broken by lower id: 1 and 3 both score 2.0.
+	if len(top) != 3 || top[0] != 1 || top[1] != 3 || top[2] != 2 {
+		t.Fatalf("TopK = %v, want [1 3 2]", top)
+	}
+	if got := TopK(scores, 99); len(got) != 5 {
+		t.Fatalf("TopK clamp failed: %v", got)
+	}
+	topInt := TopKInt([]int32{5, 9, 9, 1}, 2)
+	if topInt[0] != 1 || topInt[1] != 2 {
+		t.Fatalf("TopKInt = %v", topInt)
+	}
+}

@@ -1,0 +1,156 @@
+package classic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestCoreKnownGraphs(t *testing.T) {
+	// Triangle with a pendant: triangle is the 2-core, pendant core 1.
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	core := Core(g)
+	want := []int{2, 2, 2, 1}
+	for v := range want {
+		if core[v] != want[v] {
+			t.Fatalf("core = %v, want %v", core, want)
+		}
+	}
+	// K5: all core 4.
+	k5 := graph.FromEdges(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}})
+	for v, c := range Core(k5) {
+		if c != 4 {
+			t.Fatalf("K5 core(%d) = %d", v, c)
+		}
+	}
+	if Degeneracy(k5) != 4 {
+		t.Fatal("K5 degeneracy != 4")
+	}
+	// Empty and trivial graphs.
+	if len(Core(graph.NewBuilder(0).Build())) != 0 {
+		t.Fatal("empty graph core wrong")
+	}
+	if c := Core(graph.NewBuilder(3).Build()); c[0] != 0 || c[1] != 0 || c[2] != 0 {
+		t.Fatal("isolated vertices must have core 0")
+	}
+}
+
+// naiveClassicCore is an independent fixpoint implementation used as a
+// model for property testing.
+func naiveClassicCore(g *graph.Graph) []int {
+	n := g.NumVertices()
+	core := make([]int, n)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := n
+	for k := 1; remaining > 0; k++ {
+		for {
+			removed := false
+			for v := 0; v < n; v++ {
+				if !alive[v] {
+					continue
+				}
+				deg := 0
+				for _, u := range g.Neighbors(v) {
+					if alive[u] {
+						deg++
+					}
+				}
+				if deg < k {
+					alive[v] = false
+					remaining--
+					removed = true
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+		for v := 0; v < n; v++ {
+			if alive[v] {
+				core[v] = k
+			}
+		}
+	}
+	return core
+}
+
+func TestCoreMatchesNaiveOnRandomGraphs(t *testing.T) {
+	check := func(seed int64) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int(r % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		n := 5 + next(60)
+		b := graph.NewBuilder(n)
+		m := next(4*n + 1)
+		for i := 0; i < m; i++ {
+			b.AddEdge(next(n), next(n))
+		}
+		g := b.Build()
+		got := Core(g)
+		want := naiveClassicCore(g)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeelingOrder(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	order, core := PeelingOrder(g)
+	if len(order) != 4 {
+		t.Fatalf("order length %d", len(order))
+	}
+	// Pendant (vertex 3) must be peeled first.
+	if order[0] != 3 {
+		t.Fatalf("peeling order = %v, want pendant first", order)
+	}
+	// Core values must match Core().
+	want := Core(g)
+	for v := range want {
+		if core[v] != want[v] {
+			t.Fatalf("PeelingOrder core mismatch at %d", v)
+		}
+	}
+	// Every vertex appears exactly once.
+	seen := make([]bool, 4)
+	for _, v := range order {
+		if seen[v] {
+			t.Fatal("vertex repeated in order")
+		}
+		seen[v] = true
+	}
+	// Degeneracy-order property: each vertex has ≤ degeneracy neighbors
+	// later in the order.
+	pos := make([]int, 4)
+	for i, v := range order {
+		pos[v] = i
+	}
+	degen := Degeneracy(g)
+	for _, v := range order {
+		later := 0
+		for _, u := range g.Neighbors(v) {
+			if pos[u] > pos[v] {
+				later++
+			}
+		}
+		if later > degen {
+			t.Fatalf("vertex %d has %d later neighbors > degeneracy %d", v, later, degen)
+		}
+	}
+}

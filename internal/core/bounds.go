@@ -1,0 +1,78 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/hbfs"
+)
+
+// lb1s computes LB1(v) = deg^{⌊h/2⌋}(v) for every vertex (Observation 1):
+// every vertex of the ⌊h/2⌋-neighborhood of v is within distance h of every
+// other, so v belongs to the (deg^{⌊h/2⌋}(v), h)-core. For h ∈ {2,3} the
+// radius is 1 and LB1 is just the degree, read directly from the adjacency
+// structure without BFS.
+func lb1s(g *graph.Graph, h int, pool *hbfs.Pool, stats *Stats) []int32 {
+	n := g.NumVertices()
+	out := make([]int32, n)
+	if h < 2 {
+		// Observation 1 requires h ≥ 2; deg^0 is 0, so the bound
+		// degenerates and every vertex starts from the bottom bucket.
+		return out
+	}
+	r := h / 2
+	if r == 1 {
+		for v := 0; v < n; v++ {
+			out[v] = int32(g.Degree(v))
+		}
+		return out
+	}
+	verts := make([]int32, n)
+	for v := range verts {
+		verts[v] = int32(v)
+	}
+	pool.HDegrees(verts, r, nil, out)
+	if stats != nil {
+		stats.HDegreeComputations += int64(n)
+	}
+	return out
+}
+
+// lb2s lifts LB1 to LB2 (Observation 2): LB2(v) is the maximum LB1 over the
+// closed ⌈h/2⌉-neighborhood of v. It is computed with ⌈h/2⌉ rounds of
+// neighbor-max propagation, O(⌈h/2⌉·|E|) total, instead of one BFS per
+// vertex.
+func lb2s(g *graph.Graph, h int, lb1 []int32) []int32 {
+	n := g.NumVertices()
+	cur := make([]int32, n)
+	copy(cur, lb1)
+	next := make([]int32, n)
+	rounds := (h + 1) / 2
+	for r := 0; r < rounds; r++ {
+		for v := 0; v < n; v++ {
+			best := cur[v]
+			for _, u := range g.Neighbors(v) {
+				if cur[u] > best {
+					best = cur[u]
+				}
+			}
+			next[v] = best
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// LowerBounds exposes LB1 and LB2 for analysis (Table 4). workers ≤ 0
+// selects NumCPU.
+func LowerBounds(g *graph.Graph, h, workers int) (lb1, lb2 []int32) {
+	pool := hbfs.NewPool(g, workers)
+	lb1 = lb1s(g, h, pool, nil)
+	lb2 = lb2s(g, h, lb1)
+	return lb1, lb2
+}
+
+// HDegrees returns deg^h(v) for every vertex of g (all vertices alive).
+// workers ≤ 0 selects NumCPU.
+func HDegrees(g *graph.Graph, h, workers int) []int32 {
+	pool := hbfs.NewPool(g, workers)
+	return pool.HDegreesAll(h, nil)
+}

@@ -1,0 +1,289 @@
+// Package core implements the distance-generalized (k,h)-core
+// decomposition of Bonchi, Khan and Severini (SIGMOD 2019): the baseline
+// h-BZ peeling (Algorithm 1), the lower-bound algorithm h-LB (Algorithms
+// 2–3), and the partitioned top-down h-LB+UB (Algorithms 4–6), together
+// with the LB1/LB2/LB3 lower bounds, the power-graph upper bound, a naive
+// reference implementation and an independent result verifier.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/hbfs"
+)
+
+// Algorithm selects the decomposition strategy.
+type Algorithm int
+
+const (
+	// HBZ is the distance-generalized Batagelj–Zaveršnik baseline
+	// (Algorithm 1): every removal re-computes the h-degree of the whole
+	// h-neighborhood.
+	HBZ Algorithm = iota
+	// HLB seeds the peeling with the LB2 lower bound so h-degrees are
+	// computed lazily (Algorithms 2–3).
+	HLB
+	// HLBUB additionally computes the power-graph upper bound and splits
+	// the work into independent top-down partitions (Algorithms 4–6).
+	HLBUB
+)
+
+// String names the algorithm as in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case HBZ:
+		return "h-BZ"
+	case HLB:
+		return "h-LB"
+	case HLBUB:
+		return "h-LB+UB"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// LowerBoundKind selects the lower bound used by HLB (ablation for
+// Table 5, left side).
+type LowerBoundKind int
+
+const (
+	// LB2Bound is the default two-level bound of Observation 2.
+	LB2Bound LowerBoundKind = iota
+	// LB1Bound uses only Observation 1 (⌊h/2⌋-degree).
+	LB1Bound
+)
+
+// UpperBoundKind selects the upper bound used by HLBUB (ablation for
+// Table 5, right side).
+type UpperBoundKind int
+
+const (
+	// PowerUB is the default: implicit peeling of the power graph G^h
+	// (Algorithm 5).
+	PowerUB UpperBoundKind = iota
+	// HDegreeUB uses the raw h-degree as the upper bound.
+	HDegreeUB
+)
+
+// Options configures Decompose.
+type Options struct {
+	// H is the distance threshold (h ≥ 1). h = 1 reproduces the classic
+	// core decomposition.
+	H int
+	// Algorithm selects HBZ, HLB or HLBUB (default HBZ, the zero value).
+	Algorithm Algorithm
+	// Workers is the h-BFS worker-pool size; ≤ 0 selects NumCPU.
+	Workers int
+	// PartitionSize is the S parameter of Algorithm 4: how many distinct
+	// upper-bound values each top-down partition spans. Each partition
+	// pays one ImproveLB pass over its vertex set, so more partitions
+	// cost more up-front work; ≤ 0 selects an adaptive width that yields
+	// about eight partitions.
+	PartitionSize int
+	// LowerBound and UpperBound select ablation variants (Table 5).
+	LowerBound LowerBoundKind
+	UpperBound UpperBoundKind
+}
+
+func (o Options) withDefaults() Options {
+	if o.H == 0 {
+		o.H = 2
+	}
+	if o.PartitionSize < 0 {
+		o.PartitionSize = 0 // adaptive, resolved against |U| in Algorithm 4
+	}
+	return o
+}
+
+// Stats records the work performed by a decomposition, mirroring the
+// paper's efficiency metrics (Table 3).
+type Stats struct {
+	// Visits is the total number of vertices dequeued across every
+	// h-bounded BFS — the paper's "number of computed point-to-point
+	// distances".
+	Visits int64
+	// HDegreeComputations counts full h-degree (re-)computations.
+	HDegreeComputations int64
+	// Decrements counts O(1) h-degree decrements (distance-h neighbors in
+	// h-LB, and every update in Algorithm 5 / Algorithm 6 cleaning).
+	Decrements int64
+	// Partitions is the number of top-down partitions processed (HLBUB).
+	Partitions int
+	// Duration is the wall-clock decomposition time.
+	Duration time.Duration
+}
+
+// Result is a completed (k,h)-core decomposition.
+type Result struct {
+	// H is the distance threshold used.
+	H int
+	// Core holds the core index of every vertex: the maximum k such that
+	// the vertex belongs to the (k,h)-core.
+	Core []int
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// MaxCoreIndex returns the h-degeneracy Ĉh(G): the largest k with a
+// non-empty (k,h)-core.
+func (r *Result) MaxCoreIndex() int {
+	max := 0
+	for _, c := range r.Core {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// DistinctCores returns the number of distinct core indices among the
+// vertices (the "number of distinct cores" column of Table 2).
+func (r *Result) DistinctCores() int {
+	seen := make(map[int]struct{})
+	for _, c := range r.Core {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+// CoreVertices returns the members of C_k (vertices with core index ≥ k)
+// in ascending order.
+func (r *Result) CoreVertices(k int) []int {
+	verts := make([]int, 0)
+	for v, c := range r.Core {
+		if c >= k {
+			verts = append(verts, v)
+		}
+	}
+	return verts
+}
+
+// CoreSizes returns |C_k| for k = 0..MaxCoreIndex().
+func (r *Result) CoreSizes() []int {
+	max := r.MaxCoreIndex()
+	sizes := make([]int, max+1)
+	for _, c := range r.Core {
+		sizes[c]++
+	}
+	// suffix-sum: |C_k| = #vertices with core ≥ k
+	for k := max - 1; k >= 0; k-- {
+		sizes[k] += sizes[k+1]
+	}
+	return sizes
+}
+
+// Histogram returns the number of vertices with core index exactly k, for
+// k = 0..MaxCoreIndex().
+func (r *Result) Histogram() []int {
+	h := make([]int, r.MaxCoreIndex()+1)
+	for _, c := range r.Core {
+		h[c]++
+	}
+	return h
+}
+
+// Decompose computes the (k,h)-core decomposition of g with the configured
+// algorithm. It returns an error for invalid options; the empty graph
+// yields an empty result.
+func Decompose(g *graph.Graph, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if opts.H < 1 {
+		return nil, fmt.Errorf("core: invalid distance threshold h=%d (need h ≥ 1)", opts.H)
+	}
+	start := time.Now()
+	s := newState(g, opts)
+	switch opts.Algorithm {
+	case HBZ:
+		s.runHBZ()
+	case HLB:
+		s.runHLB()
+	case HLBUB:
+		s.runHLBUB()
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
+	}
+	res := &Result{H: opts.H, Core: make([]int, g.NumVertices())}
+	for v, c := range s.core {
+		res.Core[v] = int(c)
+	}
+	res.Stats = *s.stats
+	res.Stats.Visits = s.pool.Visits()
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// state carries the mutable data shared by the peeling algorithms.
+type state struct {
+	g    *graph.Graph
+	h    int
+	opts Options
+	pool *hbfs.Pool
+	// alive marks vertices present in the current (sub)graph.
+	alive []bool
+	core  []int32
+	// assigned marks vertices whose core index is final.
+	assigned []bool
+	// deg is the current h-degree of a vertex w.r.t. the alive set; it is
+	// meaningful only while setLB[v] is false.
+	deg []int32
+	// setLB mirrors the paper's flag: true means only a lower bound for
+	// the vertex is known (or the vertex is settled) and its h-degree
+	// must not be touched by neighbor updates.
+	setLB []bool
+	q     *bucketQueue
+	stats *Stats
+	nbuf  []hbfs.VD
+	// seedLB optionally supplies an extra per-vertex lower bound on the
+	// core index (used by DecomposeSpectrum: the core index at h−1 lower
+	// bounds the one at h). nil when unused.
+	seedLB []int32
+	// seedUB optionally supplies an extra per-vertex upper bound on the
+	// core index (used by Maintainer after edge deletions: the previous
+	// index bounds the new one from above). nil when unused.
+	seedUB []int32
+	// rebuf collects vertices whose h-degree needs recomputation after a
+	// removal, for batched parallel recomputes.
+	rebuf []int32
+}
+
+func newState(g *graph.Graph, opts Options) *state {
+	n := g.NumVertices()
+	s := &state{
+		g:        g,
+		h:        opts.H,
+		opts:     opts,
+		pool:     hbfs.NewPool(g, opts.Workers),
+		alive:    make([]bool, n),
+		core:     make([]int32, n),
+		assigned: make([]bool, n),
+		deg:      make([]int32, n),
+		setLB:    make([]bool, n),
+		q:        newBucketQueue(n),
+		stats:    &Stats{},
+	}
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	return s
+}
+
+// trav returns the sequential scratch traversal (worker 0 of the pool).
+func (s *state) trav() *hbfs.Traversal { return s.pool.Traversal(0) }
+
+// mergeSeedLB raises lb in place with the cross-level seed bound, when set.
+func (s *state) mergeSeedLB(lb []int32) []int32 {
+	if s.seedLB == nil {
+		return lb
+	}
+	for v := range lb {
+		if s.seedLB[v] > lb[v] {
+			lb[v] = s.seedLB[v]
+		}
+	}
+	return lb
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzDecompose feeds arbitrary edge bytes through every algorithm and
+// validates the results against each other and the independent verifier.
+func FuzzDecompose(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0}, uint8(2))
+	f.Add([]byte{0, 1, 2, 3}, uint8(1))
+	f.Add([]byte{}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, hRaw uint8) {
+		h := 1 + int(hRaw%4)
+		b := graph.NewBuilder(0)
+		for i := 0; i+1 < len(data) && i < 40; i += 2 {
+			b.AddEdge(int(data[i]%24), int(data[i+1]%24))
+		}
+		g := b.Build()
+		var ref []int
+		for _, alg := range []Algorithm{HBZ, HLB, HLBUB} {
+			res, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res.Core
+				if err := Validate(g, h, ref); err != nil {
+					t.Fatalf("h=%d %v: %v", h, alg, err)
+				}
+				continue
+			}
+			for v := range ref {
+				if res.Core[v] != ref[v] {
+					t.Fatalf("h=%d: %v disagrees at vertex %d: %d vs %d", h, alg, v, res.Core[v], ref[v])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package core
+
+// runHBZ implements Algorithm 1 (h-BZ): the distance-generalized
+// Batagelj–Zaveršnik peeling. Vertices are bucketed by h-degree and
+// processed in increasing order; every removal re-computes the h-degree of
+// every vertex in the removed vertex's h-neighborhood.
+func (s *state) runHBZ() {
+	n := s.g.NumVertices()
+	if n == 0 {
+		return
+	}
+	// Lines 1–3: initial h-degrees (parallel, §4.6) and bucketing.
+	verts := make([]int32, n)
+	for v := range verts {
+		verts[v] = int32(v)
+	}
+	s.pool.HDegrees(verts, s.h, s.alive, s.deg)
+	s.stats.HDegreeComputations += int64(n)
+	for v := 0; v < n; v++ {
+		s.q.insert(v, int(s.deg[v]))
+	}
+
+	// Lines 4–11: peel in increasing h-degree order.
+	k := 0
+	for s.q.Len() > 0 {
+		v, kv := s.q.PopMin(k)
+		if v < 0 {
+			break
+		}
+		if kv > k {
+			k = kv
+		}
+		s.core[v] = int32(k)
+		s.assigned[v] = true
+
+		// Collect N_{G[V]}(v, h) before deleting v, then delete.
+		s.nbuf = s.trav().Neighborhood(v, s.h, s.alive, s.nbuf)
+		s.alive[v] = false
+
+		// Re-compute the h-degree of every h-neighbor (batched over the
+		// worker pool) and re-bucket.
+		s.rebuf = s.rebuf[:0]
+		for _, e := range s.nbuf {
+			if s.q.Contains(int(e.V)) {
+				s.rebuf = append(s.rebuf, e.V)
+			}
+		}
+		s.pool.HDegrees(s.rebuf, s.h, s.alive, s.deg)
+		s.stats.HDegreeComputations += int64(len(s.rebuf))
+		for _, u := range s.rebuf {
+			nk := int(s.deg[u])
+			if nk < k {
+				nk = k
+			}
+			s.q.move(int(u), nk)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// HierarchyNode is one connected component of a (k,h)-core. Components
+// form a laminar family over k (every component of the (k+1,h)-core lies
+// inside exactly one component of the (k,h)-core), so the decomposition
+// induces a forest — the dense-subgraph hierarchy in the sense of the
+// Sariyüce–Pınar line of work the paper surveys in §2.
+type HierarchyNode struct {
+	// K is the core level of this component.
+	K int
+	// Vertices of the component, ascending. Includes the vertices of all
+	// descendant components.
+	Vertices []int
+	// Parent is the index of the enclosing component in Hierarchy.Nodes
+	// (-1 for roots).
+	Parent int
+	// Children are indices of the directly nested components.
+	Children []int
+}
+
+// Hierarchy is the forest of nested core components.
+type Hierarchy struct {
+	// H is the distance threshold.
+	H int
+	// Nodes in breadth-first order: parents precede children, roots first.
+	Nodes []HierarchyNode
+	// Leaf[v] is the index of the deepest node containing vertex v, or -1
+	// for vertices outside every level-≥1 core.
+	Leaf []int
+}
+
+// BuildHierarchy assembles the core-component forest from a decomposition
+// of g (levels 1..max; level-0 components are omitted as uninformative).
+// Distinct core levels with identical membership are collapsed, so every
+// edge of the forest reflects a real refinement.
+func BuildHierarchy(g *graph.Graph, decomposition *Result) (*Hierarchy, error) {
+	if decomposition == nil {
+		return nil, fmt.Errorf("core: BuildHierarchy: nil decomposition")
+	}
+	if len(decomposition.Core) != g.NumVertices() {
+		return nil, fmt.Errorf("core: BuildHierarchy: decomposition has %d vertices, graph %d",
+			len(decomposition.Core), g.NumVertices())
+	}
+	n := g.NumVertices()
+	hier := &Hierarchy{H: decomposition.H, Leaf: make([]int, n)}
+	for v := range hier.Leaf {
+		hier.Leaf[v] = -1
+	}
+	maxK := decomposition.MaxCoreIndex()
+	if maxK == 0 {
+		return hier, nil
+	}
+	// Distinct levels with different memberships: nested cores of equal
+	// size are the same vertex set, so each run of equal sizes is
+	// represented by its deepest level — the strongest statement about
+	// those vertices.
+	sizes := decomposition.CoreSizes()
+	levels := make([]int, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		if sizes[k] == 0 {
+			continue
+		}
+		if k == maxK || sizes[k+1] != sizes[k] {
+			levels = append(levels, k)
+		}
+	}
+
+	prevComp := make([]int, n) // vertex -> node index at the previous level
+	for v := range prevComp {
+		prevComp[v] = -1
+	}
+	for _, k := range levels {
+		verts := decomposition.CoreVertices(k)
+		sub, orig := g.InducedSubgraph(verts)
+		labels, count := sub.ConnectedComponents()
+		// Create a node per component.
+		base := len(hier.Nodes)
+		members := make([][]int, count)
+		for i, ov := range orig {
+			members[labels[i]] = append(members[labels[i]], ov)
+		}
+		for c := 0; c < count; c++ {
+			sort.Ints(members[c])
+			parent := -1
+			// Any member's previous-level component is the parent: the
+			// laminar property guarantees they all agree.
+			if p := prevComp[members[c][0]]; p >= 0 {
+				parent = p
+			}
+			node := HierarchyNode{K: k, Vertices: members[c], Parent: parent}
+			hier.Nodes = append(hier.Nodes, node)
+			if parent >= 0 {
+				hier.Nodes[parent].Children = append(hier.Nodes[parent].Children, base+c)
+			}
+		}
+		for c := 0; c < count; c++ {
+			for _, v := range members[c] {
+				prevComp[v] = base + c
+				hier.Leaf[v] = base + c
+			}
+		}
+	}
+	return hier, nil
+}
+
+// Roots returns the indices of the top-level components.
+func (h *Hierarchy) Roots() []int {
+	var roots []int
+	for i, n := range h.Nodes {
+		if n.Parent < 0 {
+			roots = append(roots, i)
+		}
+	}
+	return roots
+}
+
+// Depth returns the number of nested levels below and including node i.
+func (h *Hierarchy) Depth(i int) int {
+	max := 0
+	for _, c := range h.Nodes[i].Children {
+		if d := h.Depth(c); d > max {
+			max = d
+		}
+	}
+	return 1 + max
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestHierarchyOnTwoCliques(t *testing.T) {
+	// Two K5 cliques joined by a path: at low k one component holds
+	// everything connected; deeper levels split into the two cliques.
+	b := graph.NewBuilder(13)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(5+u, 5+v)
+		}
+	}
+	b.AddEdge(0, 10)
+	b.AddEdge(10, 11)
+	b.AddEdge(11, 12)
+	b.AddEdge(12, 5)
+	g := b.Build()
+	dec, err := Decompose(g, Options{H: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := BuildHierarchy(g, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Roots()) != 1 {
+		t.Fatalf("expected one root (connected graph), got %v", h.Roots())
+	}
+	// The deepest level (k=4) must split into exactly two components of
+	// size 5 each.
+	var leaves []HierarchyNode
+	for _, n := range h.Nodes {
+		if len(n.Children) == 0 {
+			leaves = append(leaves, n)
+		}
+	}
+	if len(leaves) != 2 {
+		t.Fatalf("expected 2 leaf components, got %d", len(leaves))
+	}
+	for _, l := range leaves {
+		if l.K != 4 || len(l.Vertices) != 5 {
+			t.Fatalf("leaf %+v, want k=4 size 5", l)
+		}
+	}
+	// Leaf lookup: clique vertices map to their clique's leaf.
+	if h.Leaf[0] == h.Leaf[5] {
+		t.Fatal("vertices of different cliques share a leaf")
+	}
+	if h.Leaf[0] < 0 || h.Leaf[10] < 0 {
+		t.Fatal("connected vertices must have a leaf at k ≥ 1")
+	}
+}
+
+// TestHierarchyLaminarProperty checks on random graphs that the forest is
+// structurally sound: children are subsets of parents with strictly
+// higher k, every vertex's Leaf is its deepest containing node, and node
+// membership matches the decomposition.
+func TestHierarchyLaminarProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randGraph(seed, 40, 3)
+		for h := 1; h <= 3; h++ {
+			dec, err := Decompose(g, Options{H: h, Workers: 1})
+			if err != nil {
+				return false
+			}
+			hier, err := BuildHierarchy(g, dec)
+			if err != nil {
+				return false
+			}
+			for i, node := range hier.Nodes {
+				if node.Parent >= 0 {
+					parent := hier.Nodes[node.Parent]
+					if parent.K >= node.K {
+						return false
+					}
+					if !subset(node.Vertices, parent.Vertices) {
+						return false
+					}
+				}
+				// Every member's core index must be ≥ the node level.
+				for _, v := range node.Vertices {
+					if dec.Core[v] < node.K {
+						return false
+					}
+				}
+				// Children indices must point back.
+				for _, c := range node.Children {
+					if hier.Nodes[c].Parent != i {
+						return false
+					}
+				}
+			}
+			// Leaves agree with core indices: a vertex's leaf level is the
+			// deepest distinct level ≤ its core index.
+			for v := 0; v < g.NumVertices(); v++ {
+				if dec.Core[v] == 0 {
+					if hier.Leaf[v] != -1 {
+						return false
+					}
+					continue
+				}
+				leaf := hier.Leaf[v]
+				if leaf < 0 || !contains(hier.Nodes[leaf].Vertices, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func subset(a, b []int) bool {
+	set := make(map[int]bool, len(b))
+	for _, v := range b {
+		set[v] = true
+	}
+	for _, v := range a {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(a []int, v int) bool {
+	for _, x := range a {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestHierarchyErrorsAndDegenerate(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := BuildHierarchy(g, nil); err == nil {
+		t.Fatal("nil decomposition accepted")
+	}
+	other, _ := Decompose(gen.Path(7), Options{H: 2, Workers: 1})
+	if _, err := BuildHierarchy(g, other); err == nil {
+		t.Fatal("mismatched decomposition accepted")
+	}
+	empty := graph.NewBuilder(3).Build()
+	dec, _ := Decompose(empty, Options{H: 2, Workers: 1})
+	hier, err := BuildHierarchy(empty, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hier.Nodes) != 0 {
+		t.Fatal("edgeless graph should produce an empty forest")
+	}
+	// Depth on a small chain.
+	p, _ := Decompose(g, Options{H: 1, Workers: 1})
+	hp, _ := BuildHierarchy(g, p)
+	for _, r := range hp.Roots() {
+		if hp.Depth(r) < 1 {
+			t.Fatal("depth must be ≥ 1")
+		}
+	}
+}

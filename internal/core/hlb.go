@@ -1,0 +1,111 @@
+package core
+
+// runHLB implements Algorithm 2 (h-LB): vertices are seeded into the
+// buckets at their lower bound (LB2, or LB1 under the ablation option) with
+// the setLB flag raised, so the expensive h-degree computation of a vertex
+// is deferred until the peeling frontier actually reaches its bound.
+func (s *state) runHLB() {
+	n := s.g.NumVertices()
+	if n == 0 {
+		return
+	}
+	lb := lb1s(s.g, s.h, s.pool, s.stats)
+	if s.opts.LowerBound == LB2Bound {
+		lb = lb2s(s.g, s.h, lb)
+	}
+	lb = s.mergeSeedLB(lb)
+	for v := 0; v < n; v++ {
+		s.setLB[v] = true
+		s.q.insert(v, int(lb[v]))
+	}
+	s.coreDecomp(0, n)
+}
+
+// coreDecomp is Algorithm 3: peel buckets kmin-1 .. kmax, assigning core
+// indices in [kmin, kmax]. Vertices popped with setLB raised get their
+// h-degree computed lazily and are re-bucketed; vertices popped with a
+// known h-degree are settled at the current level and removed, updating
+// only neighbors whose exact h-degree is being tracked (setLB false) —
+// with the O(1) decrement shortcut for neighbors at distance exactly h.
+//
+// Deviation from the paper's pseudocode (documented in DESIGN.md): lazy
+// re-bucketing inserts at max(deg, k), not deg, because the recomputed
+// h-degree can fall below the current level when same-core neighbors were
+// peeled first; inserting below the frontier would orphan the vertex.
+func (s *state) coreDecomp(kmin, kmax int) {
+	start := kmin - 1
+	if start < 0 {
+		start = 0
+	}
+	if kmax > s.q.MaxKey() {
+		kmax = s.q.MaxKey()
+	}
+	for k := start; k <= kmax; k++ {
+		for {
+			v := s.q.PopFrom(k)
+			if v < 0 {
+				break
+			}
+			if s.setLB[v] {
+				// Lazily compute the true h-degree w.r.t. the alive set.
+				d := s.trav().HDegree(v, s.h, s.alive)
+				s.stats.HDegreeComputations++
+				s.deg[v] = int32(d)
+				s.setLB[v] = false
+				if d < k {
+					d = k
+				}
+				s.q.insert(v, d)
+				continue
+			}
+			// Settle v at level k.
+			if k >= kmin {
+				s.core[v] = int32(k)
+				s.assigned[v] = true
+			}
+			s.setLB[v] = true
+			s.removeAndUpdate(v, k)
+		}
+	}
+}
+
+// removeAndUpdate deletes v from the alive set and refreshes the h-degrees
+// of its h-neighborhood: neighbors at distance < h are re-computed (batched
+// over the worker pool), neighbors at distance exactly h lose exactly one
+// h-neighbor (v itself) and are decremented in O(1). Neighbors with setLB
+// raised (lower bound only, or already settled) are skipped entirely —
+// that is the saving h-LB and h-LB+UB are built on.
+func (s *state) removeAndUpdate(v, k int) {
+	s.nbuf = s.trav().Neighborhood(v, s.h, s.alive, s.nbuf)
+	s.alive[v] = false
+	s.rebuf = s.rebuf[:0]
+	for _, e := range s.nbuf {
+		u := int(e.V)
+		if s.setLB[u] || !s.q.Contains(u) {
+			continue
+		}
+		if int(e.D) < s.h {
+			s.rebuf = append(s.rebuf, e.V)
+		} else {
+			s.deg[u]--
+			s.stats.Decrements++
+			nk := int(s.deg[u])
+			if nk < k {
+				nk = k
+			}
+			s.q.move(u, nk)
+		}
+	}
+	if len(s.rebuf) == 0 {
+		return
+	}
+	s.pool.HDegrees(s.rebuf, s.h, s.alive, s.deg)
+	s.stats.HDegreeComputations += int64(len(s.rebuf))
+	for _, u := range s.rebuf {
+		nk := int(s.deg[u])
+		if nk < k {
+			nk = k
+		}
+		s.q.move(int(u), nk)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import "sort"
+
+// runHLBUB implements Algorithm 4 (h-LB+UB): compute lower bounds (LB2)
+// and the power-graph upper bound (Algorithm 5), partition the range of
+// core-index values into intervals spanning S distinct upper-bound values,
+// and resolve the intervals top-down. Each interval [kmin, kmax] is solved
+// independently on the subgraph induced by V[kmin] = {v : UB(v) ≥ kmin}
+// (Observation 3), after ImproveLB (Algorithm 6) has raised the lower
+// bounds and evicted vertices that cannot reach h-degree kmin. Vertices
+// settled by a higher interval stay in lower intervals as distance
+// carriers but are never re-processed — the key saving over h-LB.
+func (s *state) runHLBUB() {
+	n := s.g.NumVertices()
+	if n == 0 {
+		return
+	}
+
+	// Lines 3–6: initial h-degrees, LB2, LB3 ← 0 (parallel, §4.6).
+	degH := s.pool.HDegreesAll(s.h, s.alive)
+	s.stats.HDegreeComputations += int64(n)
+	lb1 := lb1s(s.g, s.h, s.pool, s.stats)
+	lb2 := s.mergeSeedLB(lb2s(s.g, s.h, lb1))
+	lb3 := make([]int32, n)
+	copy(lb3, lb2)
+
+	// Line 7: upper bounds via implicit power-graph peeling, tightened by
+	// the carried bound when a Maintainer supplies one.
+	ub := s.upperBounds(degH)
+	if s.seedUB != nil {
+		for v := range ub {
+			if s.seedUB[v] < ub[v] {
+				ub[v] = s.seedUB[v]
+			}
+		}
+	}
+
+	// Lines 8–10: U ← distinct UB values ∪ {min LB2 − 1}, descending.
+	minLB2 := lb2[0]
+	for _, b := range lb2[1:] {
+		if b < minLB2 {
+			minLB2 = b
+		}
+	}
+	distinct := make(map[int32]struct{}, 64)
+	for _, u := range ub {
+		distinct[u] = struct{}{}
+	}
+	sentinel := minLB2 - 1
+	distinct[sentinel] = struct{}{}
+	u := make([]int, 0, len(distinct))
+	for val := range distinct {
+		u = append(u, int(val))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(u)))
+
+	// Line 11: top-down covering intervals of S distinct UB values each,
+	// per the semantics of the paper's Example 4. The adaptive default
+	// targets about eight partitions: every partition pays an ImproveLB
+	// pass over V[kmin], so partition count — not width — drives the
+	// overhead (see the ablation benchmarks).
+	step := s.opts.PartitionSize
+	if step <= 0 {
+		step = (len(u) + 7) / 8
+		if step < 1 {
+			step = 1
+		}
+	}
+	part := make([]int32, 0, n)
+	for j := 0; j < len(u)-1; {
+		kmax := u[j]
+		jn := j + step
+		if jn > len(u)-1 {
+			jn = len(u) - 1
+		}
+		kmin := u[jn] + 1
+		j = jn
+		s.stats.Partitions++
+
+		// Line 12: V[kmin] = {v : UB(v) ≥ kmin} becomes the alive set.
+		part = part[:0]
+		for v := 0; v < n; v++ {
+			in := int(ub[v]) >= kmin
+			s.alive[v] = in
+			if in {
+				part = append(part, int32(v))
+			}
+		}
+		if len(part) == 0 {
+			continue
+		}
+
+		// Lines 13–14: ImproveLB cleans the partition and raises LB3.
+		dirty := s.improveLB(part, kmin, lb3)
+
+		// Lines 15–17: seed the bucket queue. Settled vertices sit at
+		// their (final) core index — above kmax, so they are never
+		// popped. Unsettled vertices whose h-degree survived the cleaning
+		// untouched are seeded with that exact degree (saving the lazy
+		// re-computation); cleaning-affected ones fall back to their best
+		// lower bound with the lazy-degree flag raised.
+		s.q.Clear()
+		for _, v := range part {
+			if !s.alive[v] {
+				continue
+			}
+			switch {
+			case s.assigned[v]:
+				s.setLB[v] = true
+				key := int(s.core[v])
+				if int(lb3[v]) > key {
+					key = int(lb3[v])
+				}
+				s.q.insert(int(v), key)
+			case !dirty[v]:
+				s.setLB[v] = false
+				key := int(s.deg[v])
+				if key < kmin-1 {
+					key = kmin - 1
+				}
+				s.q.insert(int(v), key)
+			default:
+				s.setLB[v] = true
+				key := int(lb3[v])
+				if key < kmin-1 {
+					key = kmin - 1
+				}
+				s.q.insert(int(v), key)
+			}
+		}
+
+		// Line 18: resolve core indices in [kmin, kmax].
+		s.coreDecomp(kmin, kmax)
+	}
+}

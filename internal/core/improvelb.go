@@ -1,0 +1,76 @@
+package core
+
+// improveLB implements Algorithm 6 for one partition: given the partition's
+// vertex set as the current alive mask, it (1) computes the exact h-degree
+// of every partition vertex inside the induced subgraph, (2) derives the
+// LB3 bound of Property 3 — the minimum h-degree over the induced subgraph
+// lower-bounds the core index of every partition member — and (3) "cleans"
+// the partition by cascading removal of vertices whose (optimistically
+// decremented) h-degree falls below kmin, since such vertices cannot belong
+// to any core of this partition.
+//
+// On return the alive mask reflects the cleaned partition; s.deg holds
+// the h-degrees computed in step (1); lb3 has been raised in place. The
+// returned dirty set marks surviving vertices whose degree was touched by
+// the cleaning cascade: their s.deg value is only an optimistic upper
+// bound. For every clean survivor s.deg is exact even after removals — a
+// removed vertex w can only affect v's h-neighborhood if some vertex
+// within distance h of v routes through w, which forces w itself within
+// distance h of v, i.e. v would have been decremented.
+func (s *state) improveLB(part []int32, kmin int, lb3 []int32) (dirty map[int32]bool) {
+	if len(part) == 0 {
+		return nil
+	}
+	// Step 1: exact h-degrees inside G[V[kmin]] (parallel).
+	s.pool.HDegrees(part, s.h, s.alive, s.deg)
+	s.stats.HDegreeComputations += int64(len(part))
+
+	// Step 2: Property 3 — every partition member's core index is at
+	// least the minimum h-degree within the induced subgraph.
+	minDeg := s.deg[part[0]]
+	for _, v := range part[1:] {
+		if s.deg[v] < minDeg {
+			minDeg = s.deg[v]
+		}
+	}
+	for _, v := range part {
+		if minDeg > lb3[v] {
+			lb3[v] = minDeg
+		}
+	}
+
+	// Step 3: cascade-clean vertices that cannot reach h-degree kmin.
+	// Decrement-only updates give an upper bound on the true h-degree, so
+	// dropping below kmin is a sound eviction test. Assigned vertices
+	// (core ≥ previous kmin > current kmax) can never be evicted: their
+	// h-degree inside the partition is at least their core index.
+	var queue []int32
+	inQueue := make(map[int32]bool, 8)
+	dirty = make(map[int32]bool)
+	for _, v := range part {
+		if s.deg[v] < int32(kmin) {
+			queue = append(queue, v)
+			inQueue[v] = true
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !s.alive[v] {
+			continue
+		}
+		s.nbuf = s.trav().Neighborhood(int(v), s.h, s.alive, s.nbuf)
+		s.alive[v] = false
+		for _, e := range s.nbuf {
+			u := e.V
+			s.deg[u]--
+			s.stats.Decrements++
+			dirty[u] = true
+			if s.deg[u] < int32(kmin) && !inQueue[u] {
+				queue = append(queue, u)
+				inQueue[u] = true
+			}
+		}
+	}
+	return dirty
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestMaintainerInsertDeleteAgainstFresh(t *testing.T) {
+	g := gen.ErdosRenyi(50, 90, 7)
+	for h := 1; h <= 3; h++ {
+		m, err := NewMaintainer(g, h, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A deterministic sequence of updates: insert 12 fresh edges, then
+		// delete 6 existing ones.
+		r := gen.NewRNG(99)
+		inserted := make([][2]int, 0, 12)
+		for len(inserted) < 12 {
+			u, v := r.Intn(50), r.Intn(50)
+			if u == v || m.Graph().HasEdge(u, v) {
+				continue
+			}
+			if err := m.InsertEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+			inserted = append(inserted, [2]int{u, v})
+			want := NaiveDecompose(m.Graph(), h)
+			got := m.Core()
+			for x := range want {
+				if got[x] != want[x] {
+					t.Fatalf("h=%d after insert %v: vertex %d core %d, want %d", h, inserted, x, got[x], want[x])
+				}
+			}
+		}
+		for i := 0; i < 6; i++ {
+			e := inserted[i*2]
+			if err := m.DeleteEdge(e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+			want := NaiveDecompose(m.Graph(), h)
+			got := m.Core()
+			for x := range want {
+				if got[x] != want[x] {
+					t.Fatalf("h=%d after delete %v: vertex %d core %d, want %d", h, e, x, got[x], want[x])
+				}
+			}
+		}
+	}
+}
+
+func TestMaintainerGrowsVertexSet(t *testing.T) {
+	g := gen.Path(4)
+	m, err := NewMaintainer(g, 2, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InsertEdge(3, 9); err != nil {
+		t.Fatal(err)
+	}
+	if m.Graph().NumVertices() != 10 {
+		t.Fatalf("graph did not grow: %d vertices", m.Graph().NumVertices())
+	}
+	want := NaiveDecompose(m.Graph(), 2)
+	got := m.Core()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: %d want %d", v, got[v], want[v])
+		}
+	}
+	// Isolated new vertices (5..8) must report core 0.
+	for v := 5; v < 9; v++ {
+		if got[v] != 0 {
+			t.Fatalf("isolated vertex %d has core %d", v, got[v])
+		}
+	}
+}
+
+func TestMaintainerErrors(t *testing.T) {
+	g := gen.Path(5)
+	m, err := NewMaintainer(g, 2, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InsertEdge(0, 1); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if err := m.InsertEdge(2, 2); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := m.InsertEdge(-1, 2); err == nil {
+		t.Fatal("negative vertex accepted")
+	}
+	if err := m.DeleteEdge(0, 4); err == nil {
+		t.Fatal("missing delete accepted")
+	}
+}
+
+// TestMaintainerMonotonicityProperty checks the two facts the warm bounds
+// rely on, through the Maintainer itself: inserts never lower a core
+// index, deletes never raise one.
+func TestMaintainerMonotonicityProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rr := gen.NewRNG(uint64(seed))
+		n := 12 + rr.Intn(20)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(rr.Intn(n), rr.Intn(n))
+		}
+		g := b.Build()
+		h := 1 + rr.Intn(3)
+		m, err := NewMaintainer(g, h, Options{Workers: 1})
+		if err != nil {
+			return false
+		}
+		before := m.Core()
+		// Find a non-edge and insert it.
+		for tries := 0; tries < 50; tries++ {
+			u, v := rr.Intn(n), rr.Intn(n)
+			if u == v || m.Graph().HasEdge(u, v) {
+				continue
+			}
+			if err := m.InsertEdge(u, v); err != nil {
+				return false
+			}
+			after := m.Core()
+			for x := range before {
+				if after[x] < before[x] {
+					return false
+				}
+			}
+			// And deleting it restores the exact previous state.
+			if err := m.DeleteEdge(u, v); err != nil {
+				return false
+			}
+			restored := m.Core()
+			for x := range before {
+				if restored[x] != before[x] {
+					return false
+				}
+			}
+			break
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

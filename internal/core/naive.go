@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hbfs"
+)
+
+// NaiveDecompose computes the (k,h)-core decomposition straight from
+// Definition 2 by repeated fixpoint peeling: for k = 1, 2, ... it removes
+// vertices with h-degree < k (re-computing every remaining h-degree after
+// each sweep) until stable; survivors have core index ≥ k. It is O(n²)
+// h-BFS runs in the worst case and exists solely as an independent
+// reference for tests.
+func NaiveDecompose(g *graph.Graph, h int) []int {
+	n := g.NumVertices()
+	core := make([]int, n)
+	if n == 0 {
+		return core
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	t := hbfs.NewTraversal(g)
+	remaining := n
+	for k := 1; remaining > 0; k++ {
+		// Peel to the (k,h)-core fixpoint.
+		for {
+			removed := false
+			for v := 0; v < n; v++ {
+				if !alive[v] {
+					continue
+				}
+				if t.HDegree(v, h, alive) < k {
+					alive[v] = false
+					remaining--
+					removed = true
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+		// Survivors are in the (k,h)-core.
+		for v := 0; v < n; v++ {
+			if alive[v] {
+				core[v] = k
+			}
+		}
+	}
+	return core
+}
+
+// Validate independently checks that the claimed core indices describe a
+// correct (k,h)-core decomposition of g:
+//
+//  1. validity — for every level k, each member of C_k = {v : core(v) ≥ k}
+//     has h-degree ≥ k inside G[C_k];
+//  2. maximality — no vertex with core(v) = k can survive the peeling of
+//     the (k+1,h)-core: peeling {v : core(v) ≥ k} at threshold k+1 must
+//     remove exactly the vertices with core(v) = k.
+//
+// It returns nil if the decomposition is correct.
+func Validate(g *graph.Graph, h int, core []int) error {
+	n := g.NumVertices()
+	if len(core) != n {
+		return fmt.Errorf("core: Validate: got %d indices for %d vertices", len(core), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	maxK := 0
+	for v, c := range core {
+		if c < 0 {
+			return fmt.Errorf("core: Validate: vertex %d has negative core index %d", v, c)
+		}
+		if c > maxK {
+			maxK = c
+		}
+	}
+	t := hbfs.NewTraversal(g)
+	alive := make([]bool, n)
+
+	// Validity at every non-empty level.
+	for k := 1; k <= maxK; k++ {
+		any := false
+		for v := 0; v < n; v++ {
+			alive[v] = core[v] >= k
+			any = any || alive[v]
+		}
+		if !any {
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if alive[v] {
+				if d := t.HDegree(v, h, alive); d < k {
+					return fmt.Errorf("core: Validate: vertex %d claims core ≥ %d but has h-degree %d in C_%d", v, k, d, k)
+				}
+			}
+		}
+	}
+
+	// Maximality: peeling C_k at threshold k+1 must eliminate every vertex
+	// with core(v) = k (otherwise such a vertex belongs to a larger
+	// (k+1,h)-core and its claimed index is too small).
+	for k := 0; k <= maxK; k++ {
+		present := false
+		for v := 0; v < n; v++ {
+			alive[v] = core[v] >= k
+			if core[v] == k {
+				present = true
+			}
+		}
+		if !present {
+			continue
+		}
+		for {
+			removed := false
+			for v := 0; v < n; v++ {
+				if alive[v] && t.HDegree(v, h, alive) < k+1 {
+					alive[v] = false
+					removed = true
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+		for v := 0; v < n; v++ {
+			if alive[v] && core[v] == k {
+				return fmt.Errorf("core: Validate: vertex %d claims core %d but survives peeling at %d", v, k, k+1)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package core
+
+import "repro/internal/bucket"
+
+// bucketQueue adapts internal/bucket for the peeling algorithms: keys are
+// h-degrees / core indices, which are bounded by |V|.
+type bucketQueue struct {
+	*bucket.Queue
+	n int
+}
+
+func newBucketQueue(n int) *bucketQueue {
+	maxKey := n
+	if maxKey < 1 {
+		maxKey = 1
+	}
+	return &bucketQueue{Queue: bucket.New(n, maxKey), n: n}
+}
+
+// clampKey bounds k to the queue's valid key range.
+func (q *bucketQueue) clampKey(k int) int {
+	if k < 0 {
+		return 0
+	}
+	if k > q.MaxKey() {
+		return q.MaxKey()
+	}
+	return k
+}
+
+// insert places v in bucket k (clamped).
+func (q *bucketQueue) insert(v, k int) { q.Insert(v, q.clampKey(k)) }
+
+// move relocates v to bucket k (clamped).
+func (q *bucketQueue) move(v, k int) { q.Move(v, q.clampKey(k)) }

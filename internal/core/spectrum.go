@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Spectrum holds the (k,h)-core indices of every vertex for all h in
+// 1..MaxH — the per-vertex "spectrum" the paper's §6.1 and §7 propose as a
+// richer structural signature than any single core index.
+type Spectrum struct {
+	// MaxH is the largest distance threshold computed.
+	MaxH int
+	// Core[h-1][v] is the (k,h)-core index of vertex v.
+	Core [][]int
+	// Stats aggregates the work across all levels.
+	Stats Stats
+}
+
+// Index returns the core index of v at distance threshold h.
+func (s *Spectrum) Index(v, h int) int { return s.Core[h-1][v] }
+
+// Vector returns the spectrum of a single vertex: its core index for
+// h = 1..MaxH (a fresh slice).
+func (s *Spectrum) Vector(v int) []int {
+	out := make([]int, s.MaxH)
+	for h := 1; h <= s.MaxH; h++ {
+		out[h-1] = s.Core[h-1][v]
+	}
+	return out
+}
+
+// DecomposeSpectrum computes the (k,h)-core decomposition for every
+// h = 1..maxH in one pass, implementing the paper's future-work proposal
+// (§7): since the (k,h−1)-core is contained in the (k,h)-core, the core
+// index at h−1 is a valid per-vertex lower bound at h, and it is usually
+// far tighter than LB2 — each level seeds the next, so the h-LB peeling
+// starts close to the answer. opts.H is ignored; opts.Algorithm selects
+// HLB (default here) or HLBUB for the per-level solver, and HBZ disables
+// the cross-level seeding (baseline behaviour).
+func DecomposeSpectrum(g *graph.Graph, maxH int, opts Options) (*Spectrum, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if maxH < 1 {
+		return nil, fmt.Errorf("core: invalid maxH=%d", maxH)
+	}
+	sp := &Spectrum{MaxH: maxH, Core: make([][]int, maxH)}
+	var prev []int32
+	for h := 1; h <= maxH; h++ {
+		opts := opts
+		opts.H = h
+		opts = opts.withDefaults()
+		s := newState(g, opts)
+		s.seedLB = prev
+		switch opts.Algorithm {
+		case HBZ:
+			s.runHBZ()
+		case HLB, HLBUB:
+			// Both bounded algorithms consume seedLB through their LB2
+			// merge; HLBUB additionally keeps its partitioning.
+			if opts.Algorithm == HLB {
+				s.runHLB()
+			} else {
+				s.runHLBUB()
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
+		}
+		level := make([]int, g.NumVertices())
+		for v, c := range s.core {
+			level[v] = int(c)
+		}
+		sp.Core[h-1] = level
+		sp.Stats.Visits += s.pool.Visits()
+		sp.Stats.HDegreeComputations += s.stats.HDegreeComputations
+		sp.Stats.Decrements += s.stats.Decrements
+		sp.Stats.Partitions += s.stats.Partitions
+		prev = append(prev[:0], s.core...)
+	}
+	return sp, nil
+}

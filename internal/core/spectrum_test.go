@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+func TestSpectrumMatchesPerLevelDecomposition(t *testing.T) {
+	g := gen.Communities(80, 12, 5, 9, 0.3, 3)
+	maxH := 4
+	for _, alg := range []Algorithm{HBZ, HLB, HLBUB} {
+		sp, err := DecomposeSpectrum(g, maxH, Options{Algorithm: alg, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.MaxH != maxH || len(sp.Core) != maxH {
+			t.Fatalf("%v: bad shape %d/%d", alg, sp.MaxH, len(sp.Core))
+		}
+		for h := 1; h <= maxH; h++ {
+			want := NaiveDecompose(g, h)
+			for v := range want {
+				if sp.Index(v, h) != want[v] {
+					t.Fatalf("%v h=%d v=%d: %d want %d", alg, h, v, sp.Index(v, h), want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestSpectrumVector(t *testing.T) {
+	g := gen.Path(6)
+	sp, err := DecomposeSpectrum(g, 3, Options{Algorithm: HLB, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path interior: core 1 at h=1, 2 at h=2 (interior has ≥2 within 2).
+	vec := sp.Vector(2)
+	if len(vec) != 3 {
+		t.Fatalf("vector length %d", len(vec))
+	}
+	if vec[0] != 1 {
+		t.Fatalf("P6 h=1 core = %d, want 1", vec[0])
+	}
+	for h := 1; h < 3; h++ {
+		if vec[h] < vec[h-1] {
+			t.Fatalf("spectrum not monotone: %v", vec)
+		}
+	}
+}
+
+// TestSpectrumSeedingSavesWork: the cross-level seeding must reduce the
+// h-degree computations relative to independent per-level runs.
+func TestSpectrumSeedingSavesWork(t *testing.T) {
+	g := gen.Communities(150, 24, 5, 10, 0.35, 9)
+	maxH := 3
+	sp, err := DecomposeSpectrum(g, maxH, Options{Algorithm: HLB, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var independent int64
+	for h := 1; h <= maxH; h++ {
+		r, err := Decompose(g, Options{H: h, Algorithm: HLB, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		independent += r.Stats.HDegreeComputations
+	}
+	if sp.Stats.HDegreeComputations >= independent {
+		t.Errorf("spectrum seeding saved nothing: %d vs %d independent",
+			sp.Stats.HDegreeComputations, independent)
+	}
+}
+
+func TestSpectrumErrors(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := DecomposeSpectrum(nil, 2, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := DecomposeSpectrum(g, 0, Options{}); err == nil {
+		t.Fatal("maxH=0 accepted")
+	}
+	if _, err := DecomposeSpectrum(g, 2, Options{Algorithm: Algorithm(7)}); err == nil {
+		t.Fatal("bad algorithm accepted")
+	}
+}
+
+// TestSpectrumMonotoneProperty: core indices are non-decreasing in h for
+// every vertex, on random graphs, through the public spectrum API.
+func TestSpectrumMonotoneProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		g := randGraph(seed, 30, 3)
+		sp, err := DecomposeSpectrum(g, 4, Options{Algorithm: HLBUB, Workers: 1})
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			for h := 2; h <= 4; h++ {
+				if sp.Index(v, h) < sp.Index(v, h-1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

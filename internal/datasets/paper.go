@@ -1,0 +1,46 @@
+package datasets
+
+import "repro/internal/graph"
+
+// PaperGraph returns the 13-vertex example graph of the paper's Figure 1
+// (reconstructed to satisfy every fact the paper states about it). Vertex i
+// here corresponds to the paper's vertex i+1.
+//
+// Ground truth, verified in tests against independent implementations:
+//
+//   - classic (h=1) core index: 2 for every vertex (Example 1, left);
+//   - (k,2)-cores: paper-vertex 1 has core 4, vertices 2–3 have core 5,
+//     vertices 4–13 form the (6,2)-core (Example 1, right);
+//   - LB1 = degree for h=2: LB1(v1) = LB1(v2) = 2, LB1(v4) = 5 and
+//     LB2(v2) = 5 (Example 3);
+//   - the power-graph upper bound (Algorithm 5 / classic core of G²):
+//     UB(v1) = 4 and UB(v) = 6 for every other vertex (Example 5 and the
+//     Figure 2 counterexample: the core index of vertices 2–3 in G² is 6,
+//     while their true (k,2)-core index is 5);
+//   - deg²(v1) = 4 (Example 5).
+func PaperGraph() *graph.Graph {
+	edges := [][2]int{
+		// Paper vertex 1 hangs off vertices 2 and 3.
+		{0, 1}, {0, 2},
+		// Vertices 2 and 3 each attach to one hub of the dense region.
+		{1, 3}, {2, 7},
+		// Dense region (paper vertices 4–13): a 10-cycle ...
+		{3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8},
+		{8, 9}, {9, 10}, {10, 11}, {11, 12}, {12, 3},
+		// ... plus a pentagon of chords over the even positions.
+		{3, 5}, {5, 7}, {7, 9}, {9, 11}, {11, 3},
+	}
+	return graph.FromEdges(13, edges)
+}
+
+// PaperGraphCores2 returns the ground-truth (k,2)-core indices of
+// PaperGraph, indexed by vertex id.
+func PaperGraphCores2() []int {
+	return []int{4, 5, 5, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6}
+}
+
+// PaperGraphCores1 returns the ground-truth classic core indices of
+// PaperGraph.
+func PaperGraphCores1() []int {
+	return []int{2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2}
+}

@@ -1,0 +1,144 @@
+// Package expt is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§6 and Appendix C) on the synthetic
+// dataset analogs, producing both structured rows (for tests and
+// benchmarks) and rendered text tables (for the khexp CLI and
+// EXPERIMENTS.md). Experiment IDs follow the paper: table1..table7,
+// fig3..fig7.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Config tunes the harness. The zero value runs each experiment at its
+// default (paper-shaped) scale.
+type Config struct {
+	// Workers is the h-BFS pool size (≤ 0: NumCPU).
+	Workers int
+	// Datasets overrides the experiment's default dataset list.
+	Datasets []string
+	// MaxH caps the largest h exercised (0 = experiment default).
+	MaxH int
+	// MaxVertices snowball-subsamples any dataset larger than this
+	// (0 = use datasets at registry size). Used to keep tests fast.
+	MaxVertices int
+	// HClubMaxNodes bounds the exact h-club solvers (0 = default budget).
+	HClubMaxNodes int64
+	// HClubTimeout caps each h-club solver invocation's wall-clock time
+	// (0 = 15s default) — the analog of the paper's NT entries.
+	HClubTimeout time.Duration
+	// Pairs is the number of (s,t) queries for the landmark experiment.
+	Pairs int
+	// Ell is the number of landmarks.
+	Ell int
+	// Reps repeats stochastic experiments and averages.
+	Reps int
+	// Seed drives all sampling.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pairs <= 0 {
+		c.Pairs = 500
+	}
+	if c.Ell <= 0 {
+		c.Ell = 20
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xD15C0
+	}
+	if c.HClubTimeout == 0 {
+		c.HClubTimeout = 15 * time.Second
+	}
+	return c
+}
+
+// maxH returns the experiment's h ceiling under the config cap.
+func (c Config) maxH(def int) int {
+	if c.MaxH > 0 && c.MaxH < def {
+		return c.MaxH
+	}
+	return def
+}
+
+// pick returns the experiment's dataset list under the config override.
+func (c Config) pick(def []string) []string {
+	if len(c.Datasets) > 0 {
+		return c.Datasets
+	}
+	return def
+}
+
+// load builds a dataset and applies the MaxVertices subsample.
+func (c Config) load(name string) (*graph.Graph, error) {
+	g, err := datasets.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.MaxVertices > 0 && g.NumVertices() > c.MaxVertices {
+		g, _ = gen.Snowball(g, c.MaxVertices, c.Seed^uint64(len(name)))
+	}
+	return g, nil
+}
+
+// decompose runs a decomposition with wall-clock timing.
+func (c Config) decompose(g *graph.Graph, h int, alg core.Algorithm) (*core.Result, error) {
+	return core.Decompose(g, core.Options{H: h, Algorithm: alg, Workers: c.Workers})
+}
+
+// Table is a rendered experiment artifact.
+type Table struct {
+	// ID is the experiment id (e.g. "table3").
+	ID string
+	// Title describes the paper artifact being reproduced.
+	Title string
+	// Header and Rows hold the tabular payload.
+	Header []string
+	Rows   [][]string
+	// Notes lists caveats (scale substitutions, budgets hit, …).
+	Notes []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// fdur formats a duration in seconds with millisecond resolution.
+func fdur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+// ffrac formats a ratio to two decimals.
+func ffrac(f float64) string {
+	return fmt.Sprintf("%.2f", f)
+}

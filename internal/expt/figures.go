@@ -1,0 +1,430 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/centrality"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/gen"
+)
+
+// Fig3Point is one point of Figure 3: the fraction of vertices in C_k
+// against the normalized level k/Ĉh.
+type Fig3Point struct {
+	Dataset string
+	H       int
+	KNorm   float64 // k / Ĉh(G)
+	Frac    float64 // |C_k| / |V|
+}
+
+var figureDatasets = []string{"caAs", "FBco"}
+
+// Fig3 computes the core-size profiles of Figure 3 for h = 1..5.
+func Fig3(cfg Config) ([]Fig3Point, error) {
+	cfg = cfg.withDefaults()
+	var pts []Fig3Point
+	for _, name := range cfg.pick(figureDatasets) {
+		g, err := cfg.load(name)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(g.NumVertices())
+		for h := 1; h <= cfg.maxH(5); h++ {
+			res, err := cfg.decompose(g, h, core.HLBUB)
+			if err != nil {
+				return nil, err
+			}
+			max := res.MaxCoreIndex()
+			if max == 0 {
+				continue
+			}
+			sizes := res.CoreSizes()
+			for k := 0; k <= max; k++ {
+				pts = append(pts, Fig3Point{
+					Dataset: name, H: h,
+					KNorm: float64(k) / float64(max),
+					Frac:  float64(sizes[k]) / n,
+				})
+			}
+		}
+	}
+	return pts, nil
+}
+
+// RenderFig3 renders the Figure 3 series at ten sample levels.
+func RenderFig3(pts []Fig3Point) *Table {
+	t := &Table{
+		ID:     "fig3",
+		Title:  "fraction of vertices in C_k vs normalized k (10-point summary per series)",
+		Header: []string{"dataset", "h", "k/Ĉh", "|C_k|/|V|"},
+		Notes:  []string{"paper shape: profiles shift right as h grows — more vertices survive into relatively deeper cores"},
+	}
+	type key struct {
+		ds string
+		h  int
+	}
+	series := map[key][]Fig3Point{}
+	var keys []key
+	for _, p := range pts {
+		k := key{p.Dataset, p.H}
+		if _, ok := series[k]; !ok {
+			keys = append(keys, k)
+		}
+		series[k] = append(series[k], p)
+	}
+	for _, k := range keys {
+		s := series[k]
+		for i := 0; i <= 10; i++ {
+			x := float64(i) / 10
+			// closest sampled point
+			best := s[0]
+			for _, p := range s {
+				if math.Abs(p.KNorm-x) < math.Abs(best.KNorm-x) {
+					best = p
+				}
+			}
+			t.Rows = append(t.Rows, []string{k.ds, fmt.Sprint(k.h), ffrac(best.KNorm), ffrac(best.Frac)})
+		}
+	}
+	return t
+}
+
+// Fig4Point is one bin of Figure 4: the fraction of vertices whose
+// normalized core index falls into (x_i, x_{i+1}].
+type Fig4Point struct {
+	Dataset string
+	H       int
+	BinHi   float64 // right edge of the bin (0.1 .. 1.0)
+	Frac    float64
+}
+
+// Fig4 computes the normalized core-index distribution of Figure 4.
+func Fig4(cfg Config) ([]Fig4Point, error) {
+	cfg = cfg.withDefaults()
+	var pts []Fig4Point
+	for _, name := range cfg.pick(figureDatasets) {
+		g, err := cfg.load(name)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(g.NumVertices())
+		for h := 1; h <= cfg.maxH(5); h++ {
+			res, err := cfg.decompose(g, h, core.HLBUB)
+			if err != nil {
+				return nil, err
+			}
+			max := res.MaxCoreIndex()
+			if max == 0 {
+				continue
+			}
+			bins := make([]int, 10)
+			for _, c := range res.Core {
+				x := float64(c) / float64(max)
+				bin := int(math.Ceil(x*10)) - 1
+				if bin < 0 {
+					bin = 0
+				}
+				if bin > 9 {
+					bin = 9
+				}
+				bins[bin]++
+			}
+			for i, cnt := range bins {
+				pts = append(pts, Fig4Point{
+					Dataset: name, H: h,
+					BinHi: float64(i+1) / 10,
+					Frac:  float64(cnt) / n,
+				})
+			}
+		}
+	}
+	return pts, nil
+}
+
+// RenderFig4 renders Figure 4.
+func RenderFig4(pts []Fig4Point) *Table {
+	t := &Table{
+		ID:     "fig4",
+		Title:  "fraction of vertices per normalized core-index decile",
+		Header: []string{"dataset", "h", "core()/Ĉh ≤", "fraction"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{p.Dataset, fmt.Sprint(p.H), ffrac(p.BinHi), ffrac(p.Frac)})
+	}
+	return t
+}
+
+// Fig5Row is one point of the Figure 5 scalability curve.
+type Fig5Row struct {
+	Size    int
+	H       int
+	Runtime time.Duration
+	Visits  int64
+}
+
+// Fig5 reproduces the snowball-sampling scalability experiment of §6.4 on
+// the lj analog: h-LB+UB runtime on samples of growing size.
+func Fig5(cfg Config) ([]Fig5Row, error) {
+	cfg = cfg.withDefaults()
+	name := "lj"
+	if len(cfg.Datasets) > 0 {
+		name = cfg.Datasets[0]
+	}
+	// Load at full registry size; Fig5 does its own snowball sampling.
+	g, err := datasets.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	full := g.NumVertices()
+	sizes := []int{100, 1000, 10000}
+	if cfg.MaxVertices > 0 {
+		var kept []int
+		for _, s := range sizes {
+			if s <= cfg.MaxVertices {
+				kept = append(kept, s)
+			}
+		}
+		sizes = kept
+		if full > cfg.MaxVertices {
+			full = cfg.MaxVertices
+		}
+	}
+	if len(sizes) == 0 || sizes[len(sizes)-1] < full {
+		sizes = append(sizes, full)
+	}
+	var rows []Fig5Row
+	for _, size := range sizes {
+		for h := 2; h <= cfg.maxH(3); h++ {
+			var dur time.Duration
+			var visits int64
+			reps := cfg.Reps
+			if size >= full {
+				reps = 1 // the full graph is deterministic
+			}
+			for rep := 0; rep < reps; rep++ {
+				sample, _ := gen.Snowball(g, size, cfg.Seed+uint64(rep)*7919)
+				res, err := cfg.decompose(sample, h, core.HLBUB)
+				if err != nil {
+					return nil, err
+				}
+				dur += res.Stats.Duration
+				visits += res.Stats.Visits
+			}
+			rows = append(rows, Fig5Row{
+				Size: size, H: h,
+				Runtime: dur / time.Duration(reps),
+				Visits:  visits / int64(reps),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig5 renders Figure 5.
+func RenderFig5(rows []Fig5Row) *Table {
+	t := &Table{
+		ID:     "fig5",
+		Title:  "h-LB+UB runtime on snowball samples of the lj analog",
+		Header: []string{"sample size", "h", "runtime", "visits"},
+		Notes:  []string{"paper shape: near-linear growth for h=2; h=3 tracks h=2 on small samples and becomes more demanding on large ones"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{fmt.Sprint(r.Size), fmt.Sprint(r.H), fdur(r.Runtime), fmt.Sprint(r.Visits)})
+	}
+	return t
+}
+
+// Fig6Row summarizes the Figure 6 scatter (core index at h=1 vs h≥2) with
+// a rank correlation and a disagreement statistic.
+type Fig6Row struct {
+	Dataset string
+	H       int
+	// Spearman is the rank correlation between core indices at h=1 and h.
+	Spearman float64
+	// Movers is the fraction of vertices whose normalized core index
+	// changes by more than 0.25 between h=1 and h.
+	Movers float64
+}
+
+// Fig6 quantifies how different the h>1 core indices are from classic
+// core indices (Appendix C, Figure 6).
+func Fig6(cfg Config) ([]Fig6Row, error) {
+	cfg = cfg.withDefaults()
+	name := "caAs"
+	if len(cfg.Datasets) > 0 {
+		name = cfg.Datasets[0]
+	}
+	g, err := cfg.load(name)
+	if err != nil {
+		return nil, err
+	}
+	base, err := cfg.decompose(g, 1, core.HLBUB)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig6Row
+	for h := 2; h <= cfg.maxH(5); h++ {
+		res, err := cfg.decompose(g, h, core.HLBUB)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{
+			Dataset:  name,
+			H:        h,
+			Spearman: spearman(base.Core, res.Core),
+			Movers:   moverFraction(base.Core, res.Core, base.MaxCoreIndex(), res.MaxCoreIndex()),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig6 renders Figure 6.
+func RenderFig6(rows []Fig6Row) *Table {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "core-index spectrum: h=1 vs h (rank correlation, large movers)",
+		Header: []string{"dataset", "h", "spearman vs h=1", "movers(>0.25)"},
+		Notes:  []string{"paper shape: the h>1 indices carry genuinely different information — correlation well below 1 with a visible mover population"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Dataset, fmt.Sprint(r.H), ffrac(r.Spearman), ffrac(r.Movers)})
+	}
+	return t
+}
+
+// Fig7Row gives, per h, the correlation between closeness centrality and
+// the normalized core index (Appendix C, Figure 7).
+type Fig7Row struct {
+	Dataset string
+	H       int
+	// Spearman rank correlation between closeness and core index.
+	Spearman float64
+}
+
+// Fig7 reproduces the centrality-vs-core experiment: the correlation must
+// strengthen as h grows.
+func Fig7(cfg Config) ([]Fig7Row, error) {
+	cfg = cfg.withDefaults()
+	name := "caAs"
+	if len(cfg.Datasets) > 0 {
+		name = cfg.Datasets[0]
+	}
+	g, err := cfg.load(name)
+	if err != nil {
+		return nil, err
+	}
+	cc := centrality.Closeness(g, cfg.Workers)
+	var rows []Fig7Row
+	for h := 1; h <= cfg.maxH(4); h++ {
+		res, err := cfg.decompose(g, h, core.HLBUB)
+		if err != nil {
+			return nil, err
+		}
+		coreF := make([]float64, len(res.Core))
+		for i, c := range res.Core {
+			coreF[i] = float64(c)
+		}
+		rows = append(rows, Fig7Row{Dataset: name, H: h, Spearman: spearmanF(cc, coreF)})
+	}
+	return rows, nil
+}
+
+// RenderFig7 renders Figure 7.
+func RenderFig7(rows []Fig7Row) *Table {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "closeness centrality vs core index (rank correlation per h)",
+		Header: []string{"dataset", "h", "spearman(closeness, core)"},
+		Notes:  []string{"paper shape: correlation strengthens with h — central vertices climb into higher cores"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Dataset, fmt.Sprint(r.H), ffrac(r.Spearman)})
+	}
+	return t
+}
+
+// spearman computes the Spearman rank correlation of two integer vectors.
+func spearman(a, b []int) float64 {
+	af := make([]float64, len(a))
+	bf := make([]float64, len(b))
+	for i := range a {
+		af[i] = float64(a[i])
+		bf[i] = float64(b[i])
+	}
+	return spearmanF(af, bf)
+}
+
+func spearmanF(a, b []float64) float64 {
+	ra := ranks(a)
+	rb := ranks(b)
+	return pearson(ra, rb)
+}
+
+// ranks assigns average ranks (ties share the mean rank).
+func ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return x[idx[i]] < x[idx[j]] })
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	if n == 0 {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// moverFraction counts vertices whose normalized core index changes by
+// more than 0.25 between the two decompositions.
+func moverFraction(a, b []int, maxA, maxB int) float64 {
+	if len(a) == 0 || maxA == 0 || maxB == 0 {
+		return 0
+	}
+	movers := 0
+	for i := range a {
+		na := float64(a[i]) / float64(maxA)
+		nb := float64(b[i]) / float64(maxB)
+		if math.Abs(na-nb) > 0.25 {
+			movers++
+		}
+	}
+	return float64(movers) / float64(len(a))
+}

@@ -1,0 +1,81 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestRenderersFromStructuredRows exercises every Render* function from
+// hand-built rows, checking table structure without re-running the
+// underlying experiments.
+func TestRenderersFromStructuredRows(t *testing.T) {
+	tables := []*Table{
+		RenderTable1([]Table1Row{{Dataset: "x", V: 10, E: 20, AvgDeg: 4, MaxDeg: 6, DiamLB: 3, PaperV: 100, PaperE: 200, Scale: 10}}),
+		RenderTable2([]Table2Row{{Dataset: "x", H: 2, MaxCore: 5, Distinct: 3}}),
+		RenderTable3([]Table3Row{{Dataset: "x", Algorithm: core.HLB, H: 2, Runtime: time.Second, Visits: 42, HDegComps: 7}}),
+		RenderTable4([]Table4Row{{Dataset: "x", H: 2, LB1RelErr: 0.5, LB2RelErr: 0.2, LB1Tight: 0.1, LB2Tight: 0.3, HDegRelErr: 0.4, UBRelErr: 0.01, HDegTight: 0.2, UBTight: 0.9}}),
+		RenderTable5([]Table5Row{{Dataset: "x", H: 2, NoLB: time.Second, LB1: time.Millisecond, LB2: time.Millisecond, HDegUB: time.Millisecond, UB: time.Millisecond}}),
+		RenderTable6([]Table6Row{{Dataset: "x", H: 2, ClubSize: 4, Direct: time.Second, DirectIter: time.Second, Wrapped: time.Millisecond, WrappedIter: time.Millisecond, Exact: true, DirectNodes: 100, WrappedNodes: 5}}),
+		RenderTable7([]Table7Row{{Dataset: "x", Strategy: "core h=2", Error: 0.1, TopCoreK: 5, TopCoreSize: 12}, {Dataset: "x", Strategy: "cc", Error: 0.2}}),
+		RenderFig3([]Fig3Point{{Dataset: "x", H: 2, KNorm: 0, Frac: 1}, {Dataset: "x", H: 2, KNorm: 1, Frac: 0.1}}),
+		RenderFig4([]Fig4Point{{Dataset: "x", H: 2, BinHi: 0.1, Frac: 0.5}}),
+		RenderFig5([]Fig5Row{{Size: 100, H: 2, Runtime: time.Second, Visits: 9}}),
+		RenderFig6([]Fig6Row{{Dataset: "x", H: 2, Spearman: 0.5, Movers: 0.1}}),
+		RenderFig7([]Fig7Row{{Dataset: "x", H: 2, Spearman: 0.8}}),
+	}
+	ids := map[string]bool{}
+	for _, tab := range tables {
+		if tab.ID == "" || tab.Title == "" || len(tab.Header) == 0 || len(tab.Rows) == 0 {
+			t.Fatalf("degenerate table %+v", tab)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Fatalf("%s: row width %d != header width %d", tab.ID, len(row), len(tab.Header))
+			}
+		}
+		var buf bytes.Buffer
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, tab.ID) || !strings.Contains(out, tab.Header[0]) {
+			t.Fatalf("%s: render missing id or header:\n%s", tab.ID, out)
+		}
+		ids[tab.ID] = true
+	}
+	if len(ids) != 12 {
+		t.Fatalf("expected 12 distinct artifact ids, got %d", len(ids))
+	}
+}
+
+// TestRunAllTiny runs the complete suite end to end at miniature scale.
+func TestRunAllTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness sweep")
+	}
+	cfg := Config{
+		Workers:       2,
+		Datasets:      []string{"coli"},
+		MaxH:          2,
+		MaxVertices:   150,
+		HClubMaxNodes: 1500,
+		Pairs:         20,
+		Ell:           4,
+		Reps:          1,
+		Seed:          3,
+	}
+	var buf bytes.Buffer
+	if err := RunAll(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range IDs() {
+		if !strings.Contains(out, "== "+id) {
+			t.Fatalf("RunAll output missing %s", id)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// IDs returns the known experiment identifiers in paper order.
+func IDs() []string {
+	ids := make([]string, 0, len(runners))
+	for id := range runners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// runners maps experiment ids to table producers.
+var runners = map[string]func(Config) (*Table, error){
+	"table1": func(c Config) (*Table, error) { r, err := Table1(c); return render(RenderTable1(r), err) },
+	"table2": func(c Config) (*Table, error) { r, err := Table2(c); return render(RenderTable2(r), err) },
+	"table3": func(c Config) (*Table, error) { r, err := Table3(c); return render(RenderTable3(r), err) },
+	"table4": func(c Config) (*Table, error) { r, err := Table4(c); return render(RenderTable4(r), err) },
+	"table5": func(c Config) (*Table, error) { r, err := Table5(c); return render(RenderTable5(r), err) },
+	"table6": func(c Config) (*Table, error) { r, err := Table6(c); return render(RenderTable6(r), err) },
+	"table7": func(c Config) (*Table, error) { r, err := Table7(c); return render(RenderTable7(r), err) },
+	"fig3":   func(c Config) (*Table, error) { r, err := Fig3(c); return render(RenderFig3(r), err) },
+	"fig4":   func(c Config) (*Table, error) { r, err := Fig4(c); return render(RenderFig4(r), err) },
+	"fig5":   func(c Config) (*Table, error) { r, err := Fig5(c); return render(RenderFig5(r), err) },
+	"fig6":   func(c Config) (*Table, error) { r, err := Fig6(c); return render(RenderFig6(r), err) },
+	"fig7":   func(c Config) (*Table, error) { r, err := Fig7(c); return render(RenderFig7(r), err) },
+}
+
+func render(t *Table, err error) (*Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Run executes one experiment by id and writes its rendered table to w.
+func Run(id string, cfg Config, w io.Writer) error {
+	fn, ok := runners[id]
+	if !ok {
+		return fmt.Errorf("expt: unknown experiment %q (known: %v)", id, IDs())
+	}
+	t, err := fn(cfg)
+	if err != nil {
+		return fmt.Errorf("expt: %s: %w", id, err)
+	}
+	return t.Render(w)
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(cfg Config, w io.Writer) error {
+	order := []string{
+		"table1", "table2", "table3", "table4", "table5",
+		"fig3", "fig4", "fig5", "table6", "table7", "fig6", "fig7",
+	}
+	for _, id := range order {
+		if err := Run(id, cfg, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRNGDeterminismAndRanges(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatal("Perm repeated a value")
+		}
+		seen[v] = true
+	}
+}
+
+func TestFixedTopologies(t *testing.T) {
+	if g := Path(5); g.NumEdges() != 4 || g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatal("Path wrong")
+	}
+	if g := Cycle(6); g.NumEdges() != 6 || g.MaxDegree() != 2 {
+		t.Fatal("Cycle wrong")
+	}
+	if g := Star(7); g.NumEdges() != 6 || g.Degree(0) != 6 || g.Degree(3) != 1 {
+		t.Fatal("Star wrong")
+	}
+	if g := Clique(5); g.NumEdges() != 10 || g.MaxDegree() != 4 {
+		t.Fatal("Clique wrong")
+	}
+	if g := RandomTree(30, 3); g.NumEdges() != 29 {
+		t.Fatal("RandomTree must have n-1 edges")
+	}
+	labels, count := RandomTree(30, 3).ConnectedComponents()
+	_ = labels
+	if count != 1 {
+		t.Fatal("RandomTree disconnected")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(50, 100, 1)
+	if g.NumVertices() != 50 || g.NumEdges() != 100 {
+		t.Fatalf("ER(50,100): %v", g)
+	}
+	// Clamp to complete graph.
+	if g := ErdosRenyi(5, 1000, 2); g.NumEdges() != 10 {
+		t.Fatalf("ER clamp failed: %v", g)
+	}
+	if g := ErdosRenyi(1, 10, 3); g.NumVertices() != 1 || g.NumEdges() != 0 {
+		t.Fatal("ER degenerate failed")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(200, 3, 9)
+	if g.NumVertices() != 200 {
+		t.Fatal("BA vertex count wrong")
+	}
+	// Every non-seed vertex contributes mPer edges; seed clique has 6.
+	want := 6 + (200-4)*3
+	if g.NumEdges() != want {
+		t.Fatalf("BA edges = %d, want %d", g.NumEdges(), want)
+	}
+	// Preferential attachment must create a heavy tail: max degree far
+	// above the mean.
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Fatalf("BA has no hub: max=%d avg=%.1f", g.MaxDegree(), g.AvgDegree())
+	}
+	// Degenerate sizes collapse to cliques.
+	if g := BarabasiAlbert(3, 5, 1); g.NumEdges() != 3 {
+		t.Fatal("BA degenerate failed")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(100, 4, 0.0, 11)
+	if g.NumVertices() != 100 {
+		t.Fatal("WS vertex count wrong")
+	}
+	// beta=0: pure ring lattice, 4-regular.
+	for v := 0; v < 100; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("WS beta=0 degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	g2 := WattsStrogatz(100, 4, 0.3, 11)
+	if g2.NumEdges() == 0 || g2.NumEdges() > 200 {
+		t.Fatalf("WS rewired edges = %d", g2.NumEdges())
+	}
+}
+
+func TestRoadGrid(t *testing.T) {
+	g := RoadGrid(10, 12, 0, 0, 1)
+	if g.NumVertices() != 120 {
+		t.Fatal("grid vertex count wrong")
+	}
+	// Full grid edge count: 10*11 + 9*12 = 218.
+	if g.NumEdges() != 218 {
+		t.Fatalf("full grid edges = %d, want 218", g.NumEdges())
+	}
+	if g.MaxDegree() != 4 {
+		t.Fatalf("grid max degree = %d, want 4", g.MaxDegree())
+	}
+	dropped := RoadGrid(10, 12, 0.3, 0, 1)
+	if dropped.NumEdges() >= g.NumEdges() {
+		t.Fatal("dropFrac removed nothing")
+	}
+}
+
+func TestCommunities(t *testing.T) {
+	g := Communities(120, 20, 5, 10, 0.3, 7)
+	if g.NumVertices() != 120 {
+		t.Fatal("communities vertex count wrong")
+	}
+	if g.AvgDegree() < 3 {
+		t.Fatalf("communities too sparse: avg %.1f", g.AvgDegree())
+	}
+	if Communities(1, 3, 2, 4, 0, 1).NumEdges() != 0 {
+		t.Fatal("degenerate communities failed")
+	}
+}
+
+func TestSnowball(t *testing.T) {
+	g := BarabasiAlbert(300, 2, 21)
+	sub, orig := Snowball(g, 50, 5)
+	if sub.NumVertices() != 50 || len(orig) != 50 {
+		t.Fatalf("snowball size = %d, want 50", sub.NumVertices())
+	}
+	// A BFS sample must be connected.
+	if _, count := sub.ConnectedComponents(); count != 1 {
+		t.Fatalf("snowball sample disconnected: %d components", count)
+	}
+	// Mapping must be injective and valid.
+	seen := map[int]bool{}
+	for _, ov := range orig {
+		if ov < 0 || ov >= 300 || seen[ov] {
+			t.Fatalf("bad orig mapping %v", orig)
+		}
+		seen[ov] = true
+	}
+	// Oversized request returns everything reachable.
+	all, _ := Snowball(g, 10000, 5)
+	if all.NumVertices() != 300 {
+		t.Fatalf("oversized snowball = %d vertices", all.NumVertices())
+	}
+	if empty, _ := Snowball(graph.NewBuilder(0).Build(), 5, 1); empty.NumVertices() != 0 {
+		t.Fatal("snowball of empty graph")
+	}
+}

@@ -1,0 +1,241 @@
+package gen
+
+import "repro/internal/graph"
+
+// ErdosRenyi samples a G(n, m) random graph: m distinct uniform edges over
+// n vertices (self-loops excluded). If m exceeds the number of possible
+// edges it is clamped.
+func ErdosRenyi(n, m int, seed uint64) *graph.Graph {
+	if n < 2 {
+		return graph.NewBuilder(n).Build()
+	}
+	max := n * (n - 1) / 2
+	if m > max {
+		m = max
+	}
+	r := NewRNG(seed)
+	b := graph.NewBuilder(n)
+	seen := make(map[[2]int32]struct{}, m)
+	for len(seen) < m {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int32{int32(u), int32(v)}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: starting from a
+// small seed clique, each new vertex attaches to mPer existing vertices
+// chosen proportionally to degree (by sampling endpoints of existing
+// edges). Produces the heavy-tailed degree distributions of the paper's
+// social-network datasets.
+func BarabasiAlbert(n, mPer int, seed uint64) *graph.Graph {
+	if mPer < 1 {
+		mPer = 1
+	}
+	if n <= mPer {
+		return Clique(n)
+	}
+	r := NewRNG(seed)
+	b := graph.NewBuilder(n)
+	// Repeated-endpoint list: picking a uniform element is
+	// degree-proportional sampling.
+	targets := make([]int32, 0, 2*n*mPer)
+	// Seed clique on mPer+1 vertices.
+	for u := 0; u <= mPer; u++ {
+		for v := u + 1; v <= mPer; v++ {
+			b.AddEdge(u, v)
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	chosen := make(map[int32]struct{}, mPer)
+	picks := make([]int32, 0, mPer)
+	for v := mPer + 1; v < n; v++ {
+		for k := range chosen {
+			delete(chosen, k)
+		}
+		picks = picks[:0]
+		for len(picks) < mPer {
+			u := targets[r.Intn(len(targets))]
+			if _, dup := chosen[u]; dup {
+				continue
+			}
+			chosen[u] = struct{}{}
+			picks = append(picks, u)
+		}
+		for _, u := range picks {
+			b.AddEdge(v, int(u))
+			targets = append(targets, int32(v), u)
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz builds a small-world ring lattice: n vertices each joined
+// to their k nearest ring neighbors (k rounded down to even), with every
+// edge's far endpoint rewired uniformly with probability beta.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.Graph {
+	if n < 3 {
+		return Clique(n)
+	}
+	if k < 2 {
+		k = 2
+	}
+	k -= k % 2
+	if k >= n {
+		k = n - 1
+		k -= k % 2
+	}
+	r := NewRNG(seed)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k/2; j++ {
+			u := (v + j) % n
+			if r.Float64() < beta {
+				u = r.Intn(n)
+				for u == v {
+					u = r.Intn(n)
+				}
+			}
+			b.AddEdge(v, u)
+		}
+	}
+	return b.Build()
+}
+
+// RoadGrid builds a road-network-like graph: a rows×cols grid with a
+// fraction dropFrac of edges removed and a small fraction diagFrac of
+// diagonal shortcuts added — sparse, low-degree, huge diameter, matching
+// the rnPA/rnTX topology class.
+func RoadGrid(rows, cols int, dropFrac, diagFrac float64, seed uint64) *graph.Graph {
+	r := NewRNG(seed)
+	n := rows * cols
+	b := graph.NewBuilder(n)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols && r.Float64() >= dropFrac {
+				b.AddEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < rows && r.Float64() >= dropFrac {
+				b.AddEdge(id(i, j), id(i+1, j))
+			}
+			if i+1 < rows && j+1 < cols && r.Float64() < diagFrac {
+				b.AddEdge(id(i, j), id(i+1, j+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Communities builds an overlapping-community ("relaxed caveman") graph in
+// the style of collaboration networks (jazz, caHe, caAs): numComm cliques
+// of sizes in [minSize, maxSize] are sampled over n vertices with
+// overlapping membership, then a sprinkling of interFrac·n random bridge
+// edges is added. High clustering, dense local neighborhoods.
+func Communities(n, numComm, minSize, maxSize int, interFrac float64, seed uint64) *graph.Graph {
+	if n < 2 {
+		return graph.NewBuilder(n).Build()
+	}
+	if minSize < 2 {
+		minSize = 2
+	}
+	if maxSize < minSize {
+		maxSize = minSize
+	}
+	r := NewRNG(seed)
+	b := graph.NewBuilder(n)
+	for c := 0; c < numComm; c++ {
+		size := minSize + r.Intn(maxSize-minSize+1)
+		if size > n {
+			size = n
+		}
+		// Anchor the community around a random center so membership
+		// overlaps between nearby communities.
+		center := r.Intn(n)
+		members := make([]int, 0, size)
+		members = append(members, center)
+		for len(members) < size {
+			// Mix of local (dense overlap) and global members.
+			var v int
+			if r.Float64() < 0.8 {
+				v = (center + r.Intn(3*size)) % n
+			} else {
+				v = r.Intn(n)
+			}
+			members = append(members, v)
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				b.AddEdge(members[i], members[j])
+			}
+		}
+	}
+	bridges := int(interFrac * float64(n))
+	for e := 0; e < bridges; e++ {
+		b.AddEdge(r.Intn(n), r.Intn(n))
+	}
+	return b.Build()
+}
+
+// Path returns the path graph P_n.
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph C_n.
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	if n > 2 {
+		b.AddEdge(n-1, 0)
+	}
+	return b.Build()
+}
+
+// Star returns the star graph K_{1,n-1} with center 0.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// Clique returns the complete graph K_n.
+func Clique(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniform-attachment random tree on n vertices.
+func RandomTree(n int, seed uint64) *graph.Graph {
+	r := NewRNG(seed)
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, r.Intn(v))
+	}
+	return b.Build()
+}

@@ -1,0 +1,41 @@
+package gen
+
+import "repro/internal/graph"
+
+// Snowball samples a connected subgraph of g exactly as in the paper's
+// scalability experiment (§6.4): pick a random seed vertex, run a BFS
+// until size vertices have been visited, and return the subgraph induced
+// by the visited set. If the seed's component is smaller than size the
+// whole component is returned. The second return value maps the sample's
+// dense vertex ids back to ids in g.
+func Snowball(g *graph.Graph, size int, seed uint64) (*graph.Graph, []int) {
+	n := g.NumVertices()
+	if n == 0 || size <= 0 {
+		return graph.NewBuilder(0).Build(), nil
+	}
+	if size > n {
+		size = n
+	}
+	r := NewRNG(seed)
+	src := r.Intn(n)
+	visited := make([]bool, n)
+	queue := make([]int32, 0, size)
+	queue = append(queue, int32(src))
+	visited[src] = true
+	collected := []int{src}
+	for head := 0; head < len(queue) && len(collected) < size; head++ {
+		v := queue[head]
+		for _, u := range g.Neighbors(int(v)) {
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			queue = append(queue, u)
+			collected = append(collected, int(u))
+			if len(collected) == size {
+				break
+			}
+		}
+	}
+	return g.InducedSubgraph(collected)
+}

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks that arbitrary byte input never panics the
+// parser and that every accepted graph round-trips through the writer.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n"))
+	f.Add([]byte("# comment\n10 20\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("a b\n"))
+	f.Add([]byte("1 1\n1 2 3 extra\n"))
+	f.Add([]byte("999999999 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, ids, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if g.NumVertices() != len(ids) && !(len(ids) == 0 && g.NumVertices() == 0) {
+			t.Fatalf("vertex count %d != id count %d", g.NumVertices(), len(ids))
+		}
+		var out strings.Builder
+		if err := WriteEdgeList(&out, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, _, err := ReadEdgeList(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed edges: %d -> %d", g.NumEdges(), g2.NumEdges())
+		}
+	})
+}
+
+// FuzzBuilder checks the builder against arbitrary (possibly negative or
+// huge) edge streams.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2})
+	f.Add([]byte{5, 5, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := NewBuilder(0)
+		for i := 0; i+1 < len(data) && i < 64; i += 2 {
+			b.AddEdge(int(data[i]), int(data[i+1]))
+		}
+		g := b.Build()
+		// Invariants: sorted adjacency, no self loops, symmetric edges.
+		for v := 0; v < g.NumVertices(); v++ {
+			adj := g.Neighbors(v)
+			for i, u := range adj {
+				if int(u) == v {
+					t.Fatal("self loop survived")
+				}
+				if i > 0 && adj[i-1] >= u {
+					t.Fatal("adjacency unsorted or duplicated")
+				}
+				if !g.HasEdge(int(u), v) {
+					t.Fatal("asymmetric edge")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,184 @@
+// Package graph provides the undirected, unweighted graph substrate used
+// throughout the repository: a compact CSR (compressed sparse row)
+// representation, a builder that normalizes raw edge lists (dedup, self-loop
+// removal), plain and bounded BFS, induced subgraphs, connected components,
+// diameter computation and the h-power graph G^h.
+//
+// Vertices are dense integers 0..N-1 stored as int32; all public methods use
+// int for ergonomics. Graphs are immutable after construction, which makes
+// them safe for concurrent readers (the decomposition algorithms rely on
+// this for their parallel h-BFS passes).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected, unweighted graph in CSR form.
+// The zero value is an empty graph with no vertices.
+type Graph struct {
+	offsets []int32 // len n+1; adjacency of v is edges[offsets[v]:offsets[v+1]]
+	edges   []int32 // len 2m, sorted within each adjacency list
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int {
+	if g == nil || len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns |E| (each undirected edge counted once).
+func (g *Graph) NumEdges() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.edges) / 2
+}
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the adjacency list of v as a shared, sorted, read-only
+// slice. Callers must not modify it.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.edges[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the undirected edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	adj := g.Neighbors(u)
+	t := int32(v)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= t })
+	return i < len(adj) && adj[i] == t
+}
+
+// MaxDegree returns the largest vertex degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDegree returns the average vertex degree 2|E|/|V|, or 0 for an empty
+// graph.
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(2*g.NumEdges()) / float64(n)
+}
+
+// String summarizes the graph for diagnostics.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{|V|=%d |E|=%d}", g.NumVertices(), g.NumEdges())
+}
+
+// Builder accumulates undirected edges and assembles an immutable Graph.
+// Duplicate edges and self-loops are discarded. The zero value is unusable;
+// create builders with NewBuilder.
+type Builder struct {
+	n     int
+	pairs [][2]int32
+}
+
+// NewBuilder returns a Builder for a graph with n vertices (0..n-1).
+// Additional vertices are added implicitly by AddEdge if an endpoint
+// exceeds the current count.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		n = 0
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored.
+// Endpoints beyond the current vertex count grow the graph.
+func (b *Builder) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 {
+		return
+	}
+	if u >= b.n {
+		b.n = u + 1
+	}
+	if v >= b.n {
+		b.n = v + 1
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.pairs = append(b.pairs, [2]int32{int32(u), int32(v)})
+}
+
+// NumVertices returns the current vertex count of the builder.
+func (b *Builder) NumVertices() int { return b.n }
+
+// Build assembles the immutable Graph. The builder may be reused afterwards;
+// previously added edges are retained.
+func (b *Builder) Build() *Graph {
+	pairs := make([][2]int32, len(b.pairs))
+	copy(pairs, b.pairs)
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	// Deduplicate.
+	uniq := pairs[:0]
+	for i, p := range pairs {
+		if i > 0 && p == pairs[i-1] {
+			continue
+		}
+		uniq = append(uniq, p)
+	}
+	pairs = uniq
+
+	n := b.n
+	deg := make([]int32, n)
+	for _, p := range pairs {
+		deg[p[0]]++
+		deg[p[1]]++
+	}
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	edges := make([]int32, offsets[n])
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for _, p := range pairs {
+		edges[cursor[p[0]]] = p[1]
+		cursor[p[0]]++
+		edges[cursor[p[1]]] = p[0]
+		cursor[p[1]]++
+	}
+	g := &Graph{offsets: offsets, edges: edges}
+	// Adjacency lists come out sorted because pairs are sorted by (lo, hi)
+	// and each list receives first its higher-ordered partners... which is
+	// not guaranteed for the "hi" endpoint; sort each list explicitly.
+	for v := 0; v < n; v++ {
+		adj := g.edges[g.offsets[v]:g.offsets[v+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor: it builds a graph with n vertices
+// from the given undirected edge pairs.
+func FromEdges(n int, edges [][2]int) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}

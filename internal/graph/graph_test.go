@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	g := b.Build()
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got %v, want 4 vertices 4 edges", g)
+	}
+	for v := 0; v < 4; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestBuilderNormalization(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(2, 2)  // self loop: dropped
+	b.AddEdge(0, 1)  // kept
+	b.AddEdge(1, 0)  // duplicate reversed: dropped
+	b.AddEdge(0, 1)  // duplicate: dropped
+	b.AddEdge(5, 3)  // grows graph to 6 vertices
+	b.AddEdge(-1, 2) // negative: dropped
+	g := b.Build()
+	if g.NumVertices() != 6 {
+		t.Fatalf("NumVertices = %d, want 6", g.NumVertices())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.Degree(2) != 0 {
+		t.Fatalf("self loop survived: degree(2) = %d", g.Degree(2))
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	g := FromEdges(6, [][2]int{{0, 5}, {0, 2}, {0, 4}, {0, 1}, {0, 3}})
+	adj := g.Neighbors(0)
+	for i := 1; i < len(adj); i++ {
+		if adj[i-1] >= adj[i] {
+			t.Fatalf("adjacency not sorted: %v", adj)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 || g.MaxDegree() != 0 || g.AvgDegree() != 0 {
+		t.Fatal("empty graph misbehaves")
+	}
+	var nilGraph *Graph
+	if nilGraph.NumVertices() != 0 || nilGraph.NumEdges() != 0 {
+		t.Fatal("nil graph misbehaves")
+	}
+	if g.Diameter() != 0 {
+		t.Fatal("empty diameter != 0")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	// path 0-1-2-3-4 plus isolated 5
+	g := FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	d := g.BFSDistances(0)
+	want := []int32{0, 1, 2, 3, 4, -1}
+	for v := range want {
+		if d[v] != want[v] {
+			t.Fatalf("dist(0,%d) = %d, want %d", v, d[v], want[v])
+		}
+	}
+	if g.Distance(0, 4) != 4 || g.Distance(0, 5) != -1 || g.Distance(3, 3) != 0 {
+		t.Fatal("Distance wrong")
+	}
+	if g.Eccentricity(2) != 2 {
+		t.Fatalf("ecc(2) = %d, want 2", g.Eccentricity(2))
+	}
+}
+
+func TestDiameterExactAndEstimate(t *testing.T) {
+	path := FromEdges(7, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}})
+	if d := path.Diameter(); d != 6 {
+		t.Fatalf("path diameter = %d, want 6", d)
+	}
+	if d := path.EstimateDiameter(3); d != 6 {
+		t.Fatalf("double-sweep on path = %d, want 6 (exact on trees)", d)
+	}
+	if est, exact := path.EstimateDiameter(0), path.Diameter(); est > exact {
+		t.Fatalf("estimate %d exceeds exact %d", est, exact)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := FromEdges(7, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	labels, count := g.ConnectedComponents()
+	if count != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("component {0,1,2} split")
+	}
+	if labels[3] != labels[4] || labels[3] == labels[0] {
+		t.Fatal("component {3,4} wrong")
+	}
+	lc := g.LargestComponent()
+	if len(lc) != 3 || lc[0] != 0 || lc[2] != 2 {
+		t.Fatalf("largest component = %v, want [0 1 2]", lc)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	// triangle 0-1-2 plus pendant 3
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	sub, orig := g.InducedSubgraph([]int{2, 0, 1, 2}) // duplicate 2 ignored
+	if sub.NumVertices() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced triangle wrong: %v", sub)
+	}
+	if len(orig) != 3 || orig[0] != 2 || orig[1] != 0 || orig[2] != 1 {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+	mask := []bool{true, false, true, true}
+	sub2, orig2 := g.SubgraphByMask(mask)
+	if sub2.NumVertices() != 3 || sub2.NumEdges() != 2 {
+		t.Fatalf("mask subgraph wrong: %v (orig %v)", sub2, orig2)
+	}
+	// Out-of-range vertices are ignored.
+	sub3, _ := g.InducedSubgraph([]int{-1, 0, 99})
+	if sub3.NumVertices() != 1 {
+		t.Fatalf("out-of-range vertices not ignored: %v", sub3)
+	}
+}
+
+func TestPowerGraph(t *testing.T) {
+	// path 0-1-2-3
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	g2 := g.Power(2)
+	wantEdges := [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}}
+	if g2.NumEdges() != len(wantEdges) {
+		t.Fatalf("G² has %d edges, want %d", g2.NumEdges(), len(wantEdges))
+	}
+	for _, e := range wantEdges {
+		if !g2.HasEdge(e[0], e[1]) {
+			t.Fatalf("G² missing edge %v", e)
+		}
+	}
+	g3 := g.Power(3)
+	if g3.NumEdges() != 6 { // complete graph K4
+		t.Fatalf("G³ has %d edges, want 6", g3.NumEdges())
+	}
+	if g.Power(1).NumEdges() != g.NumEdges() {
+		t.Fatal("G¹ != G")
+	}
+	if g.Power(0).NumEdges() != 0 {
+		t.Fatal("G⁰ should have no edges")
+	}
+}
+
+// TestPowerGraphDistanceProperty is a property test: u~v in G^h iff
+// 1 ≤ d_G(u,v) ≤ h.
+func TestPowerGraphDistanceProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int(r % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		n := 5 + next(12)
+		b := NewBuilder(n)
+		m := next(2 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(next(n), next(n))
+		}
+		g := b.Build()
+		for h := 1; h <= 3; h++ {
+			gh := g.Power(h)
+			for u := 0; u < n; u++ {
+				du := g.BFSDistances(u)
+				for v := 0; v < n; v++ {
+					want := u != v && du[v] > 0 && int(du[v]) <= h
+					if gh.HasEdge(u, v) != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}})
+	if s := g.String(); !strings.Contains(s, "|V|=3") || !strings.Contains(s, "|E|=1") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list (the SNAP format):
+// one "u v" pair per line, with '#' and '%' comment lines ignored. Vertex
+// ids may be arbitrary non-negative integers; they are compacted to a dense
+// 0..N-1 range in first-appearance order. Self-loops and duplicate edges
+// are dropped. The returned ids slice maps dense id -> original id.
+func ReadEdgeList(r io.Reader) (g *Graph, ids []int64, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	b := NewBuilder(0)
+	dense := make(map[int64]int)
+	lineNo := 0
+	lookup := func(raw int64) int {
+		if id, ok := dense[raw]; ok {
+			return id
+		}
+		id := len(ids)
+		dense[raw] = id
+		ids = append(ids, raw)
+		return id
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("graph: line %d: expected two vertex ids, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad vertex id %q: %w", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad vertex id %q: %w", lineNo, fields[1], err)
+		}
+		if u < 0 || v < 0 {
+			return nil, nil, fmt.Errorf("graph: line %d: negative vertex id in %q", lineNo, line)
+		}
+		du, dv := lookup(u), lookup(v)
+		b.AddEdge(du, dv)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return b.Build(), ids, nil
+}
+
+// WriteEdgeList writes the graph in SNAP edge-list format, one undirected
+// edge per line with u < v.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices %d edges %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if int(u) > v {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

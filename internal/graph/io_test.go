@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# a comment
+% another comment
+10 20
+20 30
+
+30 10
+10 10
+10 20
+`
+	g, ids, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %v, want triangle", g)
+	}
+	if len(ids) != 3 || ids[0] != 10 || ids[1] != 20 || ids[2] != 30 {
+		t.Fatalf("ids = %v, want [10 20 30]", ids)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"1\n",                      // one field
+		"a b\n",                    // non-numeric
+		"1 b\n",                    // non-numeric second
+		"-5 3\n",                   // negative id
+		"1 99999999999999999999\n", // overflow
+	}
+	for _, in := range cases {
+		if _, _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, ids, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed graph: %v -> %v", g, g2)
+	}
+	// ReadEdgeList compacts ids in first-appearance order; compare through
+	// the returned mapping (dense id i in g2 is original vertex ids[i]).
+	for v2 := 0; v2 < g2.NumVertices(); v2++ {
+		orig := int(ids[v2])
+		if g.Degree(orig) != g2.Degree(v2) {
+			t.Fatalf("degree of original vertex %d changed: %d -> %d", orig, g.Degree(orig), g2.Degree(v2))
+		}
+	}
+}

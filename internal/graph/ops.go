@@ -1,0 +1,229 @@
+package graph
+
+// BFSDistances runs a breadth-first search from src and returns the distance
+// to every vertex, with -1 for unreachable vertices.
+func (g *Graph) BFSDistances(src int) []int32 {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= n {
+		return dist
+	}
+	queue := make([]int32, 0, n)
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		dv := dist[v]
+		for _, u := range g.Neighbors(int(v)) {
+			if dist[u] < 0 {
+				dist[u] = dv + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns the shortest-path distance between u and v, or -1 when
+// they are disconnected.
+func (g *Graph) Distance(u, v int) int {
+	if u == v {
+		return 0
+	}
+	return int(g.BFSDistances(u)[v])
+}
+
+// Eccentricity returns the largest finite BFS distance from v (0 for an
+// isolated vertex).
+func (g *Graph) Eccentricity(v int) int {
+	ecc := 0
+	for _, d := range g.BFSDistances(v) {
+		if int(d) > ecc {
+			ecc = int(d)
+		}
+	}
+	return ecc
+}
+
+// Diameter computes the exact diameter of the graph: the maximum
+// eccentricity over all vertices, restricted to finite distances (so a
+// disconnected graph reports the largest component-internal distance).
+// It is O(|V|·|E|); use EstimateDiameter for large graphs.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if e := g.Eccentricity(v); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// EstimateDiameter lower-bounds the diameter with a double BFS sweep from
+// the given start vertex: BFS to the farthest vertex, then BFS again from
+// there. For trees it is exact; for general graphs it is a strong lower
+// bound at O(|E|) cost.
+func (g *Graph) EstimateDiameter(start int) int {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	if start < 0 || start >= n {
+		start = 0
+	}
+	far, _ := farthest(g.BFSDistances(start))
+	_, d := farthest(g.BFSDistances(far))
+	return d
+}
+
+func farthest(dist []int32) (vertex, d int) {
+	for v, dv := range dist {
+		if int(dv) > d {
+			vertex, d = v, int(dv)
+		}
+	}
+	return vertex, d
+}
+
+// ConnectedComponents labels each vertex with a component id in [0, count)
+// and returns the labels together with the number of components.
+func (g *Graph) ConnectedComponents() (labels []int32, count int) {
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		labels[s] = id
+		queue = append(queue[:0], int32(s))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, u := range g.Neighbors(int(v)) {
+				if labels[u] < 0 {
+					labels[u] = id
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent returns the vertex ids of the largest connected
+// component, sorted ascending.
+func (g *Graph) LargestComponent() []int {
+	labels, count := g.ConnectedComponents()
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for id, sz := range sizes {
+		if sz > sizes[best] {
+			best = id
+		}
+	}
+	verts := make([]int, 0, sizes[best])
+	for v, l := range labels {
+		if int(l) == best {
+			verts = append(verts, v)
+		}
+	}
+	return verts
+}
+
+// InducedSubgraph builds the subgraph induced by the given vertex set and
+// returns it together with the mapping from new vertex ids to original ids
+// (new id i corresponds to original vertex orig[i]). Vertices may be listed
+// in any order; duplicates are ignored.
+func (g *Graph) InducedSubgraph(vertices []int) (sub *Graph, orig []int) {
+	n := g.NumVertices()
+	newID := make([]int32, n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	orig = make([]int, 0, len(vertices))
+	for _, v := range vertices {
+		if v < 0 || v >= n || newID[v] >= 0 {
+			continue
+		}
+		newID[v] = int32(len(orig))
+		orig = append(orig, v)
+	}
+	b := NewBuilder(len(orig))
+	for newV, oldV := range orig {
+		for _, u := range g.Neighbors(oldV) {
+			nu := newID[u]
+			if nu >= 0 && int32(newV) < nu {
+				b.AddEdge(newV, int(nu))
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// SubgraphByMask is InducedSubgraph driven by a keep mask of length |V|.
+func (g *Graph) SubgraphByMask(keep []bool) (sub *Graph, orig []int) {
+	verts := make([]int, 0)
+	for v := 0; v < g.NumVertices(); v++ {
+		if keep[v] {
+			verts = append(verts, v)
+		}
+	}
+	return g.InducedSubgraph(verts)
+}
+
+// Power returns the h-power graph G^h: same vertex set, with an edge
+// between every pair of distinct vertices at distance ≤ h in g. For h = 1
+// it returns a copy of g. The construction runs one bounded BFS per vertex
+// and is intended for validation and small/medium graphs (the decomposition
+// algorithms never materialize G^h, per §4.4 of the paper).
+func (g *Graph) Power(h int) *Graph {
+	n := g.NumVertices()
+	b := NewBuilder(n)
+	if h < 1 {
+		return b.Build()
+	}
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		// Bounded BFS from s, collecting vertices with 0 < d ≤ h.
+		queue = append(queue[:0], int32(s))
+		dist[s] = 0
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			dv := dist[v]
+			if int(dv) >= h {
+				continue
+			}
+			for _, u := range g.Neighbors(int(v)) {
+				if dist[u] < 0 {
+					dist[u] = dv + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		for _, v := range queue {
+			if int(v) > s {
+				b.AddEdge(s, int(v))
+			}
+			dist[v] = -1
+		}
+	}
+	return b.Build()
+}

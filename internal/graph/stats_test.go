@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrianglesKnown(t *testing.T) {
+	// Triangle: exactly 1.
+	tri := FromEdges(3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	if got := tri.Triangles(); got != 1 {
+		t.Fatalf("triangle count = %d, want 1", got)
+	}
+	// K4: C(4,3) = 4 triangles.
+	k4 := FromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if got := k4.Triangles(); got != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", got)
+	}
+	// C5: none.
+	c5 := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	if got := c5.Triangles(); got != 0 {
+		t.Fatalf("C5 triangles = %d, want 0", got)
+	}
+	// Star: none.
+	star := FromEdges(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if got := star.Triangles(); got != 0 {
+		t.Fatalf("star triangles = %d, want 0", got)
+	}
+}
+
+// naiveTriangles enumerates all vertex triples.
+func naiveTriangles(g *Graph) int64 {
+	n := g.NumVertices()
+	var count int64
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !g.HasEdge(a, b) {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if g.HasEdge(a, c) && g.HasEdge(b, c) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestTrianglesMatchesNaive(t *testing.T) {
+	check := func(seed int64) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := int(r % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		n := 5 + next(25)
+		b := NewBuilder(n)
+		m := next(4 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(next(n), next(n))
+		}
+		g := b.Build()
+		return g.Triangles() == naiveTriangles(g)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalClustering(t *testing.T) {
+	// K4 is fully clustered.
+	k4 := FromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if got := k4.GlobalClustering(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("K4 clustering = %v, want 1", got)
+	}
+	// Star has wedges but no triangles.
+	star := FromEdges(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if got := star.GlobalClustering(); got != 0 {
+		t.Fatalf("star clustering = %v, want 0", got)
+	}
+	// Empty: 0 by convention.
+	if got := NewBuilder(3).Build().GlobalClustering(); got != 0 {
+		t.Fatalf("empty clustering = %v", got)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	// Path P4: two degree-1, two degree-2 vertices.
+	p := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	h := p.DegreeHistogram()
+	if len(h) != 3 || h[0] != 0 || h[1] != 2 || h[2] != 2 {
+		t.Fatalf("histogram = %v, want [0 2 2]", h)
+	}
+}
+
+func TestDegreeAssortativity(t *testing.T) {
+	// A k-regular graph has zero degree variance: coefficient 0.
+	c6 := FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	if got := c6.DegreeAssortativity(); got != 0 {
+		t.Fatalf("C6 assortativity = %v, want 0", got)
+	}
+	// A star is maximally disassortative: r = -1.
+	star := FromEdges(6, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}})
+	if got := star.DegreeAssortativity(); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("star assortativity = %v, want -1", got)
+	}
+	// Two disjoint cliques of different size: assortative (positive).
+	b := NewBuilder(7)
+	for u := 0; u < 3; u++ {
+		for v := u + 1; v < 3; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	for u := 3; u < 7; u++ {
+		for v := u + 1; v < 7; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	if got := b.Build().DegreeAssortativity(); got <= 0.9 {
+		t.Fatalf("disjoint cliques assortativity = %v, want ≈1", got)
+	}
+	if got := NewBuilder(2).Build().DegreeAssortativity(); got != 0 {
+		t.Fatalf("edgeless assortativity = %v, want 0", got)
+	}
+}

@@ -1,0 +1,238 @@
+// Package hbfs implements h-bounded breadth-first search over a graph with
+// an "alive" vertex mask, which is the workhorse of every (k,h)-core
+// algorithm in this repository. A Traversal owns reusable scratch memory so
+// repeated searches allocate nothing, and it counts the number of vertices
+// dequeued across all searches — the paper's "number of computed
+// point-to-point distances" metric (Table 3).
+package hbfs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Traversal holds the scratch state for h-bounded BFS runs on a single
+// graph. It is NOT safe for concurrent use; create one per worker (see
+// Pool).
+type Traversal struct {
+	g     *graph.Graph
+	seen  []int32 // epoch marks
+	dist  []int32 // distance valid when seen[v] == epoch
+	queue []int32
+	epoch int32
+	// Visits counts vertices dequeued across all searches performed by
+	// this traversal since construction or the last ResetVisits.
+	visits int64
+}
+
+// NewTraversal returns a Traversal with scratch sized for g.
+func NewTraversal(g *graph.Graph) *Traversal {
+	n := g.NumVertices()
+	return &Traversal{
+		g:     g,
+		seen:  make([]int32, n),
+		dist:  make([]int32, n),
+		queue: make([]int32, 0, n),
+		epoch: 0,
+	}
+}
+
+// Visits returns the cumulative number of vertices dequeued by this
+// traversal's searches.
+func (t *Traversal) Visits() int64 { return t.visits }
+
+// ResetVisits zeroes the visit counter.
+func (t *Traversal) ResetVisits() { t.visits = 0 }
+
+// AddVisits adds n to the visit counter; used by algorithms that account
+// for work performed outside a BFS (e.g. neighbor-list decrements).
+func (t *Traversal) AddVisits(n int64) { t.visits += n }
+
+func (t *Traversal) nextEpoch() int32 {
+	t.epoch++
+	if t.epoch == 0 { // wrapped; clear marks and restart
+		for i := range t.seen {
+			t.seen[i] = 0
+		}
+		t.epoch = 1
+	}
+	return t.epoch
+}
+
+// HDegree returns |N_{G[alive]}(src, h)|: the number of alive vertices
+// other than src within distance h of src, where paths may only pass
+// through alive vertices. A nil alive mask means all vertices are alive.
+// If src itself is dead the result is 0.
+func (t *Traversal) HDegree(src, h int, alive []bool) int {
+	deg := 0
+	t.Visit(src, h, alive, func(_ int32, _ int32) { deg++ })
+	return deg
+}
+
+// Visit runs an h-bounded BFS from src over alive vertices and invokes fn
+// for every reached vertex u ≠ src with its distance d(src,u) ∈ [1, h].
+// Vertices are reported in BFS (distance, discovery) order. fn must not
+// re-enter this Traversal (the callback runs over the traversal's scratch
+// queue); use a second Traversal for nested searches.
+func (t *Traversal) Visit(src, h int, alive []bool, fn func(u int32, d int32)) {
+	if src < 0 || src >= t.g.NumVertices() || h < 1 {
+		return
+	}
+	if alive != nil && !alive[src] {
+		return
+	}
+	epoch := t.nextEpoch()
+	t.seen[src] = epoch
+	t.dist[src] = 0
+	q := t.queue[:0]
+	q = append(q, int32(src))
+	hh := int32(h)
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		t.visits++
+		dv := t.dist[v]
+		if dv >= hh {
+			continue
+		}
+		for _, u := range t.g.Neighbors(int(v)) {
+			if t.seen[u] == epoch {
+				continue
+			}
+			if alive != nil && !alive[u] {
+				continue
+			}
+			t.seen[u] = epoch
+			t.dist[u] = dv + 1
+			q = append(q, u)
+		}
+	}
+	t.queue = q[:0]
+	for _, v := range q[1:len(q):len(q)] {
+		fn(v, t.dist[v])
+	}
+}
+
+// Neighborhood collects the h-bounded neighborhood of src into dst (reset
+// to length 0 first) as (vertex, distance) pairs and returns it. The
+// returned slice aliases dst's backing array when capacity suffices.
+func (t *Traversal) Neighborhood(src, h int, alive []bool, dst []VD) []VD {
+	dst = dst[:0]
+	t.Visit(src, h, alive, func(u int32, d int32) {
+		dst = append(dst, VD{V: u, D: d})
+	})
+	return dst
+}
+
+// VD is a (vertex, distance) pair produced by Neighborhood.
+type VD struct {
+	V int32
+	D int32
+}
+
+// Pool runs batch h-degree computations with a fixed number of workers,
+// mirroring §4.6 of the paper (one h-BFS per vertex, dynamically assigned
+// to threads). Visit counts from all workers are aggregated into the pool.
+type Pool struct {
+	g       *graph.Graph
+	workers int
+	travs   []*Traversal
+}
+
+// NewPool creates a pool of the given size for graph g. workers ≤ 0 selects
+// runtime.NumCPU().
+func NewPool(g *graph.Graph, workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{g: g, workers: workers}
+	p.travs = make([]*Traversal, workers)
+	for i := range p.travs {
+		p.travs[i] = NewTraversal(g)
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Visits returns the cumulative vertex-dequeue count across all workers.
+func (p *Pool) Visits() int64 {
+	var total int64
+	for _, t := range p.travs {
+		total += t.Visits()
+	}
+	return total
+}
+
+// ResetVisits zeroes all worker counters.
+func (p *Pool) ResetVisits() {
+	for _, t := range p.travs {
+		t.ResetVisits()
+	}
+}
+
+// Traversal returns the dedicated traversal of worker i (0 ≤ i < Workers()).
+// Worker 0's traversal doubles as the sequential scratch for the
+// single-threaded parts of the algorithms.
+func (p *Pool) Traversal(i int) *Traversal { return p.travs[i] }
+
+// HDegrees computes deg^h_{G[alive]}(v) for every vertex in verts, writing
+// results into out (indexed by vertex id). Vertices are distributed
+// dynamically over the pool's workers via an atomic cursor.
+func (p *Pool) HDegrees(verts []int32, h int, alive []bool, out []int32) {
+	if len(verts) == 0 {
+		return
+	}
+	if p.workers == 1 || len(verts) < 64 {
+		t := p.travs[0]
+		for _, v := range verts {
+			out[v] = int32(t.HDegree(int(v), h, alive))
+		}
+		return
+	}
+	var cursor int64
+	var wg sync.WaitGroup
+	const chunk = 32
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(t *Traversal) {
+			defer wg.Done()
+			for {
+				start := atomic.AddInt64(&cursor, chunk) - chunk
+				if start >= int64(len(verts)) {
+					return
+				}
+				end := start + chunk
+				if end > int64(len(verts)) {
+					end = int64(len(verts))
+				}
+				for _, v := range verts[start:end] {
+					out[v] = int32(t.HDegree(int(v), h, alive))
+				}
+			}
+		}(p.travs[w])
+	}
+	wg.Wait()
+}
+
+// HDegreesAll computes the h-degree of every vertex of the graph (alive
+// mask applied) and returns a fresh slice indexed by vertex id. Dead
+// vertices report 0.
+func (p *Pool) HDegreesAll(h int, alive []bool) []int32 {
+	n := p.g.NumVertices()
+	verts := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if alive == nil || alive[v] {
+			verts = append(verts, int32(v))
+		}
+	}
+	out := make([]int32, n)
+	p.HDegrees(verts, h, alive, out)
+	return out
+}

@@ -1,0 +1,158 @@
+// Package khcore is a from-scratch Go implementation of
+// "Distance-generalized Core Decomposition" (Bonchi, Khan, Severini —
+// SIGMOD 2019). The (k,h)-core of a graph is the maximal subgraph in which
+// every vertex has at least k other vertices within shortest-path distance
+// h, computed inside the subgraph; for h = 1 it is the classic k-core.
+//
+// The package exposes:
+//
+//   - graph construction (Builder, FromEdges, ReadEdgeList) and the
+//     deterministic generators used by the evaluation;
+//   - the three decomposition algorithms of the paper (h-BZ, h-LB,
+//     h-LB+UB) behind a single Decompose call, with the LB1/LB2/LB3 lower
+//     bounds, the power-graph upper bound (Algorithm 5), top-down
+//     partitioning (Algorithm 4) and multi-threaded h-BFS (§4.6);
+//   - the paper's applications: distance-h coloring (§5.1), maximum
+//     h-club with the Algorithm 7 core wrapper (§5.2), distance-h densest
+//     subgraph (§5.3), cocktail-party community search (Appendix B) and
+//     landmark selection for distance oracles (§6.6).
+//
+// Quick start:
+//
+//	g := khcore.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+//	res, err := khcore.Decompose(g, khcore.Options{H: 2})
+//	if err != nil { ... }
+//	fmt.Println(res.Core) // (k,2)-core index of every vertex
+package khcore
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Graph is an immutable undirected, unweighted graph in compressed
+// sparse-row form. Construct with NewBuilder, FromEdges or ReadEdgeList.
+type Graph = graph.Graph
+
+// Builder accumulates edges and assembles an immutable Graph; duplicate
+// edges and self-loops are dropped.
+type Builder = graph.Builder
+
+// NewBuilder returns a Builder for a graph with n vertices; AddEdge grows
+// the vertex set as needed.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph with n vertices from undirected edge pairs.
+func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
+
+// ReadEdgeList parses a SNAP-style whitespace edge list ('#'/'%' comments
+// allowed), compacting arbitrary non-negative vertex ids to 0..N-1 in
+// first-appearance order; ids maps dense id back to the original.
+func ReadEdgeList(r io.Reader) (g *Graph, ids []int64, err error) {
+	return graph.ReadEdgeList(r)
+}
+
+// WriteEdgeList writes g as an edge list, one "u v" pair per line.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// Algorithm selects the decomposition strategy of §4.
+type Algorithm = core.Algorithm
+
+// Decomposition algorithms (paper §4). HLBUB is the fastest on most
+// graphs and the recommended default; HBZ is the baseline.
+const (
+	// HBZ is the distance-generalized Batagelj–Zaveršnik baseline
+	// (Algorithm 1).
+	HBZ = core.HBZ
+	// HLB adds the LB2 lower bound with lazy h-degree computation
+	// (Algorithms 2–3).
+	HLB = core.HLB
+	// HLBUB adds the power-graph upper bound and independent top-down
+	// partitions (Algorithms 4–6).
+	HLBUB = core.HLBUB
+)
+
+// Options configures Decompose; see core.Options for field semantics.
+type Options = core.Options
+
+// Result is a completed (k,h)-core decomposition: per-vertex core indices
+// plus work statistics (h-BFS visits, h-degree computations, duration).
+type Result = core.Result
+
+// Stats describes the work a decomposition performed.
+type Stats = core.Stats
+
+// Decompose computes the (k,h)-core decomposition of g. Options.H selects
+// the distance threshold (default 2); Options.Algorithm the strategy
+// (default HBZ — pass HLBUB for the paper's fastest variant);
+// Options.Workers the h-BFS parallelism (default NumCPU).
+func Decompose(g *Graph, opts Options) (*Result, error) {
+	return core.Decompose(g, opts)
+}
+
+// HDegrees returns deg^h(v) — the number of vertices within distance h —
+// for every vertex of g. workers ≤ 0 selects NumCPU.
+func HDegrees(g *Graph, h, workers int) []int32 {
+	return core.HDegrees(g, h, workers)
+}
+
+// LowerBounds returns the paper's LB1 and LB2 per-vertex lower bounds on
+// the (k,h)-core index (Observations 1–2).
+func LowerBounds(g *Graph, h, workers int) (lb1, lb2 []int32) {
+	return core.LowerBounds(g, h, workers)
+}
+
+// UpperBounds returns the Algorithm 5 per-vertex upper bound on the
+// (k,h)-core index — the classic core index of the power graph G^h,
+// computed without materializing G^h.
+func UpperBounds(g *Graph, h, workers int) []int32 {
+	return core.UpperBounds(g, h, workers)
+}
+
+// Validate independently verifies that indices is a correct (k,h)-core
+// decomposition of g (validity and maximality at every level). Intended
+// for testing and for auditing third-party results; it is substantially
+// slower than Decompose.
+func Validate(g *Graph, h int, indices []int) error {
+	return core.Validate(g, h, indices)
+}
+
+// Spectrum holds the (k,h)-core indices of every vertex for all
+// h = 1..MaxH — the per-vertex structural "spectrum" proposed in the
+// paper's §6.1/§7.
+type Spectrum = core.Spectrum
+
+// DecomposeSpectrum computes the decompositions for every h = 1..maxH in
+// one pass, using each level's core indices as lower bounds for the next
+// (the paper's future-work proposal: the (k,h−1)-core is contained in the
+// (k,h)-core, so indices are monotone in h).
+func DecomposeSpectrum(g *Graph, maxH int, opts Options) (*Spectrum, error) {
+	return core.DecomposeSpectrum(g, maxH, opts)
+}
+
+// Maintainer keeps a (k,h)-core decomposition current across edge
+// insertions and deletions, re-decomposing with warm per-vertex bounds
+// (previous indices are lower bounds after inserts, upper bounds after
+// deletes). Results after every update are exact.
+type Maintainer = core.Maintainer
+
+// NewMaintainer decomposes g once and prepares for dynamic edge updates.
+func NewMaintainer(g *Graph, h int, opts Options) (*Maintainer, error) {
+	return core.NewMaintainer(g, h, opts)
+}
+
+// Hierarchy is the forest of nested connected core components; see
+// core.BuildHierarchy.
+type Hierarchy = core.Hierarchy
+
+// HierarchyNode is one connected component of a (k,h)-core.
+type HierarchyNode = core.HierarchyNode
+
+// BuildHierarchy assembles the forest of nested (k,h)-core components
+// from a decomposition — the dense-subgraph hierarchy of the
+// Sariyüce–Pınar line of work the paper surveys (§2).
+func BuildHierarchy(g *Graph, decomposition *Result) (*Hierarchy, error) {
+	return core.BuildHierarchy(g, decomposition)
+}

@@ -1,0 +1,177 @@
+package khcore_test
+
+import (
+	"strings"
+	"testing"
+
+	khcore "repro"
+)
+
+// TestQuickstart exercises the README quick-start path end to end.
+func TestQuickstart(t *testing.T) {
+	g := khcore.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	res, err := khcore.Decompose(g, khcore.Options{H: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C5 with h=2: every vertex reaches 4 others → all core 4.
+	for v, c := range res.Core {
+		if c != 4 {
+			t.Fatalf("core(%d) = %d, want 4", v, c)
+		}
+	}
+	if err := khcore.Validate(g, 2, res.Core); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperExampleThroughPublicAPI reproduces the paper's Figure 1 through
+// the facade.
+func TestPaperExampleThroughPublicAPI(t *testing.T) {
+	g := khcore.PaperGraph()
+	for _, alg := range []khcore.Algorithm{khcore.HBZ, khcore.HLB, khcore.HLBUB} {
+		res, err := khcore.Decompose(g, khcore.Options{H: 2, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int{4, 5, 5, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6}
+		for v := range want {
+			if res.Core[v] != want[v] {
+				t.Fatalf("%v: core(%d) = %d, want %d", alg, v, res.Core[v], want[v])
+			}
+		}
+		if res.MaxCoreIndex() != 6 || res.DistinctCores() != 3 {
+			t.Fatalf("%v: max=%d distinct=%d, want 6/3", alg, res.MaxCoreIndex(), res.DistinctCores())
+		}
+	}
+}
+
+func TestEdgeListRoundTripThroughAPI(t *testing.T) {
+	in := "# comment\n0 1\n1 2\n2 0\n"
+	g, ids, err := khcore.ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || len(ids) != 3 {
+		t.Fatalf("parsed %v", g)
+	}
+	var sb strings.Builder
+	if err := khcore.WriteEdgeList(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0 1") {
+		t.Fatalf("serialized: %q", sb.String())
+	}
+}
+
+func TestBoundsThroughAPI(t *testing.T) {
+	g := khcore.BarabasiAlbert(120, 3, 5)
+	h := 2
+	res, err := khcore.Decompose(g, khcore.Options{H: h, Algorithm: khcore.HLBUB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb1, lb2 := khcore.LowerBounds(g, h, 0)
+	ub := khcore.UpperBounds(g, h, 0)
+	degs := khcore.HDegrees(g, h, 0)
+	for v, c := range res.Core {
+		if int(lb1[v]) > c || int(lb2[v]) > c || c > int(ub[v]) || int(ub[v]) > int(degs[v]) {
+			t.Fatalf("bound sandwich violated at %d: lb1=%d lb2=%d core=%d ub=%d deg=%d",
+				v, lb1[v], lb2[v], c, ub[v], degs[v])
+		}
+	}
+}
+
+func TestApplicationsThroughAPI(t *testing.T) {
+	g := khcore.Communities(90, 14, 5, 9, 0.3, 11)
+	h := 2
+	dec, err := khcore.Decompose(g, khcore.Options{H: h, Algorithm: khcore.HLBUB})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Coloring.
+	col, err := khcore.GreedyColoring(g, h, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := khcore.VerifyColoring(g, col); err != nil {
+		t.Fatal(err)
+	}
+	if col.NumColors > col.Guarantee {
+		t.Fatalf("degeneracy guarantee violated: %d colors > %d", col.NumColors, col.Guarantee)
+	}
+
+	// h-club via Algorithm 7.
+	club, err := khcore.MaxHClubWithCores(g, h, dec, khcore.MaxHClub, khcore.HClubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !club.Exact || !khcore.IsHClub(g, club.Club, h) {
+		t.Fatalf("Algorithm 7 returned a bad club: %+v", club)
+	}
+	if len(club.Club) > 1+dec.MaxCoreIndex() {
+		t.Fatal("Theorem 2 violated: club larger than 1+degeneracy")
+	}
+
+	// Densest subgraph.
+	ds, err := khcore.DensestSubgraph(g, h, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Density <= 0 || khcore.AverageHDegree(g, ds.Vertices, h) != ds.Density {
+		t.Fatalf("densest subgraph inconsistent: %+v", ds)
+	}
+
+	// Community search.
+	q := dec.CoreVertices(dec.MaxCoreIndex())[0]
+	comm, err := khcore.CommunitySearch(g, h, []int{q}, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comm.K != dec.Core[q] {
+		t.Fatalf("community level %d, want %d", comm.K, dec.Core[q])
+	}
+
+	// Landmarks.
+	lms, err := khcore.SelectLandmarks(g, khcore.LandmarksMaxCore, 6, h, dec, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := khcore.NewLandmarkOracle(g, lms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := khcore.EvaluateOracle(g, oracle, 60, 5)
+	if ev.Pairs == 0 || ev.BoundViolations != 0 {
+		t.Fatalf("oracle evaluation failed: %+v", ev)
+	}
+}
+
+func TestGeneratorsThroughAPI(t *testing.T) {
+	if g := khcore.ErdosRenyi(40, 60, 1); g.NumEdges() != 60 {
+		t.Fatal("ErdosRenyi")
+	}
+	if g := khcore.WattsStrogatz(40, 4, 0.1, 1); g.NumVertices() != 40 {
+		t.Fatal("WattsStrogatz")
+	}
+	if g := khcore.RoadGrid(5, 6, 0, 0, 1); g.NumVertices() != 30 {
+		t.Fatal("RoadGrid")
+	}
+	full := khcore.BarabasiAlbert(200, 2, 9)
+	sample, orig := khcore.Snowball(full, 40, 2)
+	if sample.NumVertices() != 40 || len(orig) != 40 {
+		t.Fatal("Snowball")
+	}
+	names := khcore.DatasetNames()
+	if len(names) != 13 {
+		t.Fatalf("expected 13 datasets, got %d", len(names))
+	}
+	g, err := khcore.LoadDataset("jazz")
+	if err != nil || g.NumVertices() != 198 {
+		t.Fatalf("LoadDataset(jazz): %v %v", g, err)
+	}
+	if _, err := khcore.LoadDataset("bogus"); err == nil {
+		t.Fatal("bogus dataset accepted")
+	}
+}
