@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -35,9 +36,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, id := range expt.IDs() {
-			fmt.Println(id)
-		}
+		listIDs(os.Stdout)
 		return
 	}
 	if flag.NArg() != 1 {
@@ -60,15 +59,24 @@ func main() {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
 
-	id := flag.Arg(0)
-	var err error
-	if id == "all" {
-		err = expt.RunAll(cfg, os.Stdout)
-	} else {
-		err = expt.Run(id, cfg, os.Stdout)
-	}
-	if err != nil {
+	if err := run(flag.Arg(0), cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "khexp:", err)
 		os.Exit(1)
 	}
+}
+
+// listIDs prints the known experiment ids, one per line.
+func listIDs(w io.Writer) {
+	for _, id := range expt.IDs() {
+		fmt.Fprintln(w, id)
+	}
+}
+
+// run executes one experiment id (or "all") against cfg, writing the
+// rendered tables to w.
+func run(id string, cfg expt.Config, w io.Writer) error {
+	if id == "all" {
+		return expt.RunAll(cfg, w)
+	}
+	return expt.Run(id, cfg, w)
 }

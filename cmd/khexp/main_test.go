@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/expt"
+)
+
+// tiny keeps the smoke run fast: two small datasets, subsampled, h ≤ 2.
+func tiny() expt.Config {
+	return expt.Config{
+		Workers:       2,
+		Datasets:      []string{"coli", "jazz"},
+		MaxH:          2,
+		MaxVertices:   150,
+		HClubMaxNodes: 1000,
+		Pairs:         20,
+		Ell:           5,
+		Reps:          1,
+		Seed:          7,
+	}
+}
+
+func TestListIDs(t *testing.T) {
+	var buf bytes.Buffer
+	listIDs(&buf)
+	out := buf.String()
+	for _, id := range []string{"table1", "table3", "fig7"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("listIDs output missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("table2", tiny(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "coli") || !strings.Contains(out, "jazz") {
+		t.Fatalf("table2 output missing dataset rows:\n%s", out)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("table99", tiny(), &buf); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

@@ -54,4 +54,16 @@ func main() {
 		log.Fatal("validation failed: ", err)
 	}
 	fmt.Println("\ndecomposition independently validated ✓")
+
+	// Serving workloads: a long-lived Engine answers repeated queries from
+	// one reusable scratch arena — zero steady-state allocations.
+	eng := khcore.NewEngine(g, 1)
+	var out khcore.Result
+	fmt.Println("\nengine sweep over h:")
+	for h := 1; h <= 3; h++ {
+		if err := eng.DecomposeInto(&out, khcore.Options{H: h, Algorithm: khcore.HLBUB}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  h=%d: max core %d\n", h, out.MaxCoreIndex())
+	}
 }

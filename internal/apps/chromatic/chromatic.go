@@ -30,6 +30,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hbfs"
+	"repro/internal/vset"
 )
 
 // Coloring is a distance-h coloring of a graph.
@@ -134,22 +135,20 @@ func smallestAbsent(used []int) int {
 func peelingOrder(g *graph.Graph, h int) []int {
 	n := g.NumVertices()
 	order := make([]int, 0, n)
-	alive := make([]bool, n)
-	for i := range alive {
-		alive[i] = true
-	}
+	alive := vset.New(n)
+	alive.Fill()
 	t := hbfs.NewTraversal(g)
 	for len(order) < n {
 		bestV, bestD := -1, n+1
 		for v := 0; v < n; v++ {
-			if !alive[v] {
+			if !alive.Contains(v) {
 				continue
 			}
 			if d := t.HDegree(v, h, alive); d < bestD {
 				bestV, bestD = v, d
 			}
 		}
-		alive[bestV] = false
+		alive.Remove(bestV)
 		order = append(order, bestV)
 	}
 	return order

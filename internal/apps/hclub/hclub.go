@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/hbfs"
+	"repro/internal/vset"
 )
 
 // IsHClub reports whether the subgraph of g induced by the vertex set S
@@ -88,10 +89,8 @@ func Drop(g *graph.Graph, h int) []int {
 	if n == 0 {
 		return nil
 	}
-	alive := make([]bool, n)
-	for i := range alive {
-		alive[i] = true
-	}
+	alive := vset.New(n)
+	alive.Fill()
 	size := n
 	t := hbfs.NewTraversal(g)
 	deg := make([]int, n)
@@ -102,7 +101,7 @@ func Drop(g *graph.Graph, h int) []int {
 	for size > 1 {
 		worst, worstDeg := -1, n+1
 		for v := 0; v < n; v++ {
-			if alive[v] && deg[v] < worstDeg {
+			if alive.Contains(v) && deg[v] < worstDeg {
 				worst, worstDeg = v, deg[v]
 			}
 		}
@@ -110,7 +109,7 @@ func Drop(g *graph.Graph, h int) []int {
 			break // every member reaches all others: h-club
 		}
 		nbuf = t.Neighborhood(worst, h, alive, nbuf)
-		alive[worst] = false
+		alive.Remove(worst)
 		size--
 		for _, e := range nbuf {
 			u := int(e.V)
@@ -123,7 +122,7 @@ func Drop(g *graph.Graph, h int) []int {
 	}
 	out := make([]int, 0, size)
 	for v := 0; v < n; v++ {
-		if alive[v] {
+		if alive.Contains(v) {
 			out = append(out, v)
 		}
 	}
@@ -164,11 +163,11 @@ func exactSolve(g *graph.Graph, h int, opts Options, seed []int) Result {
 	}
 	labels, count := g.ConnectedComponents()
 	for comp := 0; comp < count; comp++ {
-		alive := make([]bool, n)
+		alive := vset.New(n)
 		size := 0
 		for v := 0; v < n; v++ {
 			if labels[v] == int32(comp) {
-				alive[v] = true
+				alive.Add(v)
 				size++
 			}
 		}
@@ -189,6 +188,7 @@ type bnb struct {
 	h         int
 	opts      Options
 	trav      *hbfs.Traversal
+	seen      *vset.Set // violatingPair reachability scratch
 	best      []int
 	nodes     int64
 	budgetHit bool
@@ -201,7 +201,7 @@ func (b *bnb) expired() bool {
 	return !b.deadline.IsZero() && b.nodes%32 == 0 && time.Now().After(b.deadline)
 }
 
-func (b *bnb) search(alive []bool, size int) {
+func (b *bnb) search(alive *vset.Set, size int) {
 	if b.budgetHit {
 		return
 	}
@@ -224,39 +224,34 @@ func (b *bnb) search(alive []bool, size int) {
 	if u < 0 {
 		// alive is an h-club larger than the incumbent.
 		b.best = b.best[:0]
-		for w := 0; w < b.g.NumVertices(); w++ {
-			if alive[w] {
-				b.best = append(b.best, w)
-			}
-		}
+		alive.ForEach(func(w int) { b.best = append(b.best, w) })
 		return
 	}
 
 	// Branch: any h-club within alive excludes u or excludes v.
-	left := make([]bool, len(alive))
-	copy(left, alive)
-	left[u] = false
+	left := alive.Clone()
+	left.Remove(u)
 	b.search(left, size-1)
 
-	right := alive // reuse: the right branch owns the slice
-	right[v] = false
+	right := alive // reuse: the right branch owns the set
+	right.Remove(v)
 	b.search(right, size-1)
 }
 
 // peel removes vertices with h-degree < bound inside G[alive] until a
 // fixpoint, returning the remaining size.
-func (b *bnb) peel(alive []bool, size, bound int) int {
+func (b *bnb) peel(alive *vset.Set, size, bound int) int {
 	if bound <= 0 {
 		return size
 	}
 	for {
 		removed := false
 		for v := 0; v < b.g.NumVertices() && size > bound; v++ {
-			if !alive[v] {
+			if !alive.Contains(v) {
 				continue
 			}
 			if b.trav.HDegree(v, b.h, alive) < bound {
-				alive[v] = false
+				alive.Remove(v)
 				size--
 				removed = true
 			}
@@ -269,25 +264,25 @@ func (b *bnb) peel(alive []bool, size, bound int) int {
 
 // violatingPair returns a pair of alive vertices at induced distance > h,
 // or (-1, -1) if the candidate set is an h-club.
-func (b *bnb) violatingPair(alive []bool, size int) (int, int) {
+func (b *bnb) violatingPair(alive *vset.Set, size int) (int, int) {
 	n := b.g.NumVertices()
-	seen := make([]bool, n)
+	if b.seen == nil || b.seen.Len() != n {
+		b.seen = vset.New(n)
+	}
 	for u := 0; u < n; u++ {
-		if !alive[u] {
+		if !alive.Contains(u) {
 			continue
 		}
-		for i := range seen {
-			seen[i] = false
-		}
-		seen[u] = true
+		b.seen.Clear()
+		b.seen.Add(u)
 		reached := 0
 		b.trav.Visit(u, b.h, alive, func(w int32, d int32) {
-			seen[w] = true
+			b.seen.Add(int(w))
 			reached++
 		})
 		if reached != size-1 {
 			for v := 0; v < n; v++ {
-				if alive[v] && !seen[v] {
+				if alive.Contains(v) && !b.seen.Contains(v) {
 					return u, v
 				}
 			}
@@ -319,10 +314,8 @@ func ExactIterative(g *graph.Graph, h int, opts Options) Result {
 	if len(opts.Incumbent) > len(best) && IsHClub(g, opts.Incumbent, h) {
 		best = append([]int(nil), opts.Incumbent...)
 	}
-	alive := make([]bool, n)
-	for i := range alive {
-		alive[i] = true
-	}
+	alive := vset.New(n)
+	alive.Fill()
 	t := hbfs.NewTraversal(g)
 	// Ascending h-degree order keeps the neighborhoods solved early small.
 	order := make([]int, n)
@@ -341,7 +334,7 @@ func ExactIterative(g *graph.Graph, h int, opts Options) Result {
 	})
 	exact := true
 	for _, v := range order {
-		if !alive[v] {
+		if !alive.Contains(v) {
 			continue
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
@@ -352,7 +345,7 @@ func ExactIterative(g *graph.Graph, h int, opts Options) Result {
 		cand := []int{v}
 		t.Visit(v, h, alive, func(w int32, d int32) { cand = append(cand, int(w)) })
 		if len(cand) <= len(best) {
-			alive[v] = false
+			alive.Remove(v)
 			continue
 		}
 		sub, orig := g.InducedSubgraph(cand)
@@ -370,7 +363,7 @@ func ExactIterative(g *graph.Graph, h int, opts Options) Result {
 				best = append(best, orig[w])
 			}
 		}
-		alive[v] = false
+		alive.Remove(v)
 	}
 	res.Club = best
 	res.Exact = exact

@@ -1,0 +1,18 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestLowerBoundsEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(0, nil)
+	lb1, lb2 := LowerBounds(g, 2, 1)
+	if len(lb1) != 0 || len(lb2) != 0 {
+		t.Fatal("empty graph bounds must be empty")
+	}
+	if ub := UpperBounds(g, 2, 1); len(ub) != 0 {
+		t.Fatal("empty graph upper bounds must be empty")
+	}
+}

@@ -4,6 +4,13 @@
 // 2–3), and the partitioned top-down h-LB+UB (Algorithms 4–6), together
 // with the LB1/LB2/LB3 lower bounds, the power-graph upper bound, a naive
 // reference implementation and an independent result verifier.
+//
+// All three algorithms run inside an Engine — a long-lived decomposition
+// context bound to a graph that owns every piece of reusable scratch (the
+// h-BFS worker pool, the packed alive/assigned/lower-bound vertex sets,
+// the bucket queue, the degree and bound arrays). Repeated decompositions
+// through one Engine allocate almost nothing; the package-level Decompose
+// is a thin wrapper that builds a throwaway Engine for one-shot callers.
 package core
 
 import (
@@ -12,6 +19,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/hbfs"
+	"repro/internal/vset"
 )
 
 // Algorithm selects the decomposition strategy.
@@ -74,7 +82,9 @@ type Options struct {
 	H int
 	// Algorithm selects HBZ, HLB or HLBUB (default HBZ, the zero value).
 	Algorithm Algorithm
-	// Workers is the h-BFS worker-pool size; ≤ 0 selects NumCPU.
+	// Workers is the h-BFS worker-pool size; ≤ 0 selects NumCPU. An
+	// Engine fixes its pool size at construction, so this field only
+	// matters for the one-shot Decompose wrapper.
 	Workers int
 	// PartitionSize is the S parameter of Algorithm 4: how many distinct
 	// upper-bound values each top-down partition spans. Each partition
@@ -186,103 +196,216 @@ func (r *Result) Histogram() []int {
 
 // Decompose computes the (k,h)-core decomposition of g with the configured
 // algorithm. It returns an error for invalid options; the empty graph
-// yields an empty result.
+// yields an empty result. Each call builds a fresh Engine; callers that
+// decompose repeatedly (serving workloads, parameter sweeps, dynamic
+// maintenance) should hold a NewEngine and call Engine.Decompose instead.
 func Decompose(g *graph.Graph, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
-	if opts.H < 1 {
-		return nil, fmt.Errorf("core: invalid distance threshold h=%d (need h ≥ 1)", opts.H)
-	}
-	start := time.Now()
-	s := newState(g, opts)
-	switch opts.Algorithm {
-	case HBZ:
-		s.runHBZ()
-	case HLB:
-		s.runHLB()
-	case HLBUB:
-		s.runHLBUB()
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
-	}
-	res := &Result{H: opts.H, Core: make([]int, g.NumVertices())}
-	for v, c := range s.core {
-		res.Core[v] = int(c)
-	}
-	res.Stats = *s.stats
-	res.Stats.Visits = s.pool.Visits()
-	res.Stats.Duration = time.Since(start)
-	return res, nil
+	return NewEngine(g, opts.Workers).Decompose(opts)
 }
 
-// state carries the mutable data shared by the peeling algorithms.
-type state struct {
+// Engine is a long-lived decomposition context bound to one graph. It owns
+// every piece of mutable state the peeling algorithms need — the h-BFS
+// traversal pool, the packed alive/assigned/lazy-bound vertex sets, the
+// bucket queue, the degree, bound and neighborhood scratch arrays — and
+// reuses all of it across runs, so repeated Decompose calls reach a
+// near-zero steady-state allocation rate (exactly zero through
+// DecomposeInto with a single worker). An Engine is NOT safe for
+// concurrent use; create one per goroutine.
+type Engine struct {
 	g    *graph.Graph
-	h    int
-	opts Options
 	pool *hbfs.Pool
+
 	// alive marks vertices present in the current (sub)graph.
-	alive []bool
-	core  []int32
+	alive *vset.Set
 	// assigned marks vertices whose core index is final.
-	assigned []bool
-	// deg is the current h-degree of a vertex w.r.t. the alive set; it is
-	// meaningful only while setLB[v] is false.
-	deg []int32
-	// setLB mirrors the paper's flag: true means only a lower bound for
-	// the vertex is known (or the vertex is settled) and its h-degree
+	assigned *vset.Set
+	// setLB mirrors the paper's flag: membership means only a lower bound
+	// for the vertex is known (or the vertex is settled) and its h-degree
 	// must not be touched by neighbor updates.
-	setLB []bool
-	q     *bucketQueue
-	stats *Stats
-	nbuf  []hbfs.VD
+	setLB *vset.Set
+	// dirty and inQueue serve the ImproveLB cleaning cascade.
+	dirty   *vset.Set
+	inQueue *vset.Set
+
+	core []int32
+	// deg is the current h-degree of a vertex w.r.t. the alive set; it is
+	// meaningful only while the vertex is outside setLB.
+	deg []int32
+	q   *bucketQueue
+
+	// Scratch buffers, reused across runs.
+	nbuf    []hbfs.VD
+	rebuf   []int32 // batched h-degree recomputations after a removal
+	verts   []int32 // whole-vertex-set id list
+	part    []int32 // current partition's members (HLBUB)
+	cascade []int32 // ImproveLB eviction stack
+	lbA     []int32 // lower-bound propagation double buffer
+	lbB     []int32
+	lb3     []int32
+	degH    []int32
+	ub      []int32
+	ubdeg   []int32
+	ubvals  []int32 // distinct upper-bound values, descending
+
+	// Per-run state.
+	h     int
+	opts  Options
+	stats Stats
 	// seedLB optionally supplies an extra per-vertex lower bound on the
 	// core index (used by DecomposeSpectrum: the core index at h−1 lower
-	// bounds the one at h). nil when unused.
+	// bounds the one at h). nil when unused; consumed by one run.
 	seedLB []int32
 	// seedUB optionally supplies an extra per-vertex upper bound on the
 	// core index (used by Maintainer after edge deletions: the previous
 	// index bounds the new one from above). nil when unused.
 	seedUB []int32
-	// rebuf collects vertices whose h-degree needs recomputation after a
-	// removal, for batched parallel recomputes.
-	rebuf []int32
 }
 
-func newState(g *graph.Graph, opts Options) *state {
+// NewEngine returns an Engine bound to g with a worker pool of the given
+// size (≤ 0 selects NumCPU).
+func NewEngine(g *graph.Graph, workers int) *Engine {
+	e := &Engine{
+		pool:     hbfs.NewPool(g, workers),
+		alive:    vset.New(0),
+		assigned: vset.New(0),
+		setLB:    vset.New(0),
+		dirty:    vset.New(0),
+		inQueue:  vset.New(0),
+	}
+	e.Reset(g)
+	return e
+}
+
+// Graph returns the graph the engine is currently bound to.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Workers returns the size of the engine's h-BFS worker pool.
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// Reset re-binds the engine to g (which may differ in size from the
+// previous graph), reusing every piece of scratch whose capacity suffices.
+// The Maintainer calls this after each edge update.
+func (e *Engine) Reset(g *graph.Graph) {
+	e.g = g
 	n := g.NumVertices()
-	s := &state{
-		g:        g,
-		h:        opts.H,
-		opts:     opts,
-		pool:     hbfs.NewPool(g, opts.Workers),
-		alive:    make([]bool, n),
-		core:     make([]int32, n),
-		assigned: make([]bool, n),
-		deg:      make([]int32, n),
-		setLB:    make([]bool, n),
-		q:        newBucketQueue(n),
-		stats:    &Stats{},
+	e.pool.Reset(g)
+	e.alive.Resize(n)
+	e.assigned.Resize(n)
+	e.setLB.Resize(n)
+	e.dirty.Resize(n)
+	e.inQueue.Resize(n)
+	e.core = growInt32(e.core, n)
+	e.deg = growInt32(e.deg, n)
+	// The bound arrays (lbA/lbB/lb3/degH/ub/ubdeg) are algorithm-specific
+	// and sized lazily at first use, so a throwaway engine running HBZ
+	// never pays for HLBUB's scratch.
+	if e.q == nil || e.q.n < n {
+		e.q = newBucketQueue(n)
 	}
-	for i := range s.alive {
-		s.alive[i] = true
+}
+
+// growInt32 returns s resized to length n, reusing capacity when possible.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
 	}
-	return s
+	return s[:n]
+}
+
+// Decompose runs one (k,h)-core decomposition and returns a fresh Result.
+// Options.Workers is ignored — the pool size was fixed by NewEngine.
+func (e *Engine) Decompose(opts Options) (*Result, error) {
+	res := &Result{}
+	if err := e.DecomposeInto(res, opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DecomposeInto runs one decomposition, writing the outcome into res and
+// reusing res.Core's backing array when its capacity suffices — the
+// zero-allocation path for repeated queries over one graph.
+func (e *Engine) DecomposeInto(res *Result, opts Options) error {
+	defer e.clearSeeds() // seeds apply to exactly one attempt, even a rejected one
+	opts = opts.withDefaults()
+	if opts.H < 1 {
+		return fmt.Errorf("core: invalid distance threshold h=%d (need h ≥ 1)", opts.H)
+	}
+	switch opts.Algorithm {
+	case HBZ, HLB, HLBUB:
+	default:
+		return fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
+	}
+	start := time.Now()
+	e.beginRun(opts)
+	switch opts.Algorithm {
+	case HBZ:
+		e.runHBZ()
+	case HLB:
+		e.runHLB()
+	case HLBUB:
+		e.runHLBUB()
+	}
+	n := e.g.NumVertices()
+	if cap(res.Core) < n {
+		res.Core = make([]int, n)
+	} else {
+		res.Core = res.Core[:n]
+	}
+	for v, c := range e.core {
+		res.Core[v] = int(c)
+	}
+	res.H = opts.H
+	res.Stats = e.stats
+	res.Stats.Visits = e.pool.Visits()
+	res.Stats.Duration = time.Since(start)
+	return nil
+}
+
+// beginRun resets the per-run state: full alive set, cleared flags and
+// queue, zeroed core indices and counters.
+func (e *Engine) beginRun(opts Options) {
+	e.h = opts.H
+	e.opts = opts
+	e.stats = Stats{}
+	e.pool.ResetVisits()
+	e.alive.Fill()
+	e.assigned.Clear()
+	e.setLB.Clear()
+	for i := range e.core {
+		e.core[i] = 0
+	}
+	e.q.Clear()
+}
+
+func (e *Engine) clearSeeds() {
+	e.seedLB, e.seedUB = nil, nil
 }
 
 // trav returns the sequential scratch traversal (worker 0 of the pool).
-func (s *state) trav() *hbfs.Traversal { return s.pool.Traversal(0) }
+func (e *Engine) trav() *hbfs.Traversal { return e.pool.Traversal(0) }
+
+// allVerts fills and returns the whole-vertex-set scratch list 0..n-1.
+func (e *Engine) allVerts() []int32 {
+	n := e.g.NumVertices()
+	e.verts = e.verts[:0]
+	for v := 0; v < n; v++ {
+		e.verts = append(e.verts, int32(v))
+	}
+	return e.verts
+}
 
 // mergeSeedLB raises lb in place with the cross-level seed bound, when set.
-func (s *state) mergeSeedLB(lb []int32) []int32 {
-	if s.seedLB == nil {
+func (e *Engine) mergeSeedLB(lb []int32) []int32 {
+	if e.seedLB == nil {
 		return lb
 	}
 	for v := range lb {
-		if s.seedLB[v] > lb[v] {
-			lb[v] = s.seedLB[v]
+		if e.seedLB[v] > lb[v] {
+			lb[v] = e.seedLB[v]
 		}
 	}
 	return lb

@@ -4,55 +4,51 @@ package core
 // Batagelj–Zaveršnik peeling. Vertices are bucketed by h-degree and
 // processed in increasing order; every removal re-computes the h-degree of
 // every vertex in the removed vertex's h-neighborhood.
-func (s *state) runHBZ() {
-	n := s.g.NumVertices()
+func (e *Engine) runHBZ() {
+	n := e.g.NumVertices()
 	if n == 0 {
 		return
 	}
 	// Lines 1–3: initial h-degrees (parallel, §4.6) and bucketing.
-	verts := make([]int32, n)
-	for v := range verts {
-		verts[v] = int32(v)
-	}
-	s.pool.HDegrees(verts, s.h, s.alive, s.deg)
-	s.stats.HDegreeComputations += int64(n)
+	e.pool.HDegrees(e.allVerts(), e.h, e.alive, e.deg)
+	e.stats.HDegreeComputations += int64(n)
 	for v := 0; v < n; v++ {
-		s.q.insert(v, int(s.deg[v]))
+		e.q.insert(v, int(e.deg[v]))
 	}
 
 	// Lines 4–11: peel in increasing h-degree order.
 	k := 0
-	for s.q.Len() > 0 {
-		v, kv := s.q.PopMin(k)
+	for e.q.Len() > 0 {
+		v, kv := e.q.PopMin(k)
 		if v < 0 {
 			break
 		}
 		if kv > k {
 			k = kv
 		}
-		s.core[v] = int32(k)
-		s.assigned[v] = true
+		e.core[v] = int32(k)
+		e.assigned.Add(v)
 
 		// Collect N_{G[V]}(v, h) before deleting v, then delete.
-		s.nbuf = s.trav().Neighborhood(v, s.h, s.alive, s.nbuf)
-		s.alive[v] = false
+		e.nbuf = e.trav().Neighborhood(v, e.h, e.alive, e.nbuf)
+		e.alive.Remove(v)
 
 		// Re-compute the h-degree of every h-neighbor (batched over the
 		// worker pool) and re-bucket.
-		s.rebuf = s.rebuf[:0]
-		for _, e := range s.nbuf {
-			if s.q.Contains(int(e.V)) {
-				s.rebuf = append(s.rebuf, e.V)
+		e.rebuf = e.rebuf[:0]
+		for _, nb := range e.nbuf {
+			if e.q.Contains(int(nb.V)) {
+				e.rebuf = append(e.rebuf, nb.V)
 			}
 		}
-		s.pool.HDegrees(s.rebuf, s.h, s.alive, s.deg)
-		s.stats.HDegreeComputations += int64(len(s.rebuf))
-		for _, u := range s.rebuf {
-			nk := int(s.deg[u])
+		e.pool.HDegrees(e.rebuf, e.h, e.alive, e.deg)
+		e.stats.HDegreeComputations += int64(len(e.rebuf))
+		for _, u := range e.rebuf {
+			nk := int(e.deg[u])
 			if nk < k {
 				nk = k
 			}
-			s.q.move(int(u), nk)
+			e.q.move(int(u), nk)
 		}
 	}
 }

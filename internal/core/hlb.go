@@ -4,21 +4,21 @@ package core
 // buckets at their lower bound (LB2, or LB1 under the ablation option) with
 // the setLB flag raised, so the expensive h-degree computation of a vertex
 // is deferred until the peeling frontier actually reaches its bound.
-func (s *state) runHLB() {
-	n := s.g.NumVertices()
+func (e *Engine) runHLB() {
+	n := e.g.NumVertices()
 	if n == 0 {
 		return
 	}
-	lb := lb1s(s.g, s.h, s.pool, s.stats)
-	if s.opts.LowerBound == LB2Bound {
-		lb = lb2s(s.g, s.h, lb)
+	lb := e.lb1Into()
+	if e.opts.LowerBound == LB2Bound {
+		lb = e.lb2Into(lb)
 	}
-	lb = s.mergeSeedLB(lb)
+	lb = e.mergeSeedLB(lb)
 	for v := 0; v < n; v++ {
-		s.setLB[v] = true
-		s.q.insert(v, int(lb[v]))
+		e.setLB.Add(v)
+		e.q.insert(v, int(lb[v]))
 	}
-	s.coreDecomp(0, n)
+	e.coreDecomp(0, n)
 }
 
 // coreDecomp is Algorithm 3: peel buckets kmin-1 .. kmax, assigning core
@@ -32,39 +32,39 @@ func (s *state) runHLB() {
 // re-bucketing inserts at max(deg, k), not deg, because the recomputed
 // h-degree can fall below the current level when same-core neighbors were
 // peeled first; inserting below the frontier would orphan the vertex.
-func (s *state) coreDecomp(kmin, kmax int) {
+func (e *Engine) coreDecomp(kmin, kmax int) {
 	start := kmin - 1
 	if start < 0 {
 		start = 0
 	}
-	if kmax > s.q.MaxKey() {
-		kmax = s.q.MaxKey()
+	if kmax > e.q.MaxKey() {
+		kmax = e.q.MaxKey()
 	}
 	for k := start; k <= kmax; k++ {
 		for {
-			v := s.q.PopFrom(k)
+			v := e.q.PopFrom(k)
 			if v < 0 {
 				break
 			}
-			if s.setLB[v] {
+			if e.setLB.Contains(v) {
 				// Lazily compute the true h-degree w.r.t. the alive set.
-				d := s.trav().HDegree(v, s.h, s.alive)
-				s.stats.HDegreeComputations++
-				s.deg[v] = int32(d)
-				s.setLB[v] = false
+				d := e.trav().HDegree(v, e.h, e.alive)
+				e.stats.HDegreeComputations++
+				e.deg[v] = int32(d)
+				e.setLB.Remove(v)
 				if d < k {
 					d = k
 				}
-				s.q.insert(v, d)
+				e.q.insert(v, d)
 				continue
 			}
 			// Settle v at level k.
 			if k >= kmin {
-				s.core[v] = int32(k)
-				s.assigned[v] = true
+				e.core[v] = int32(k)
+				e.assigned.Add(v)
 			}
-			s.setLB[v] = true
-			s.removeAndUpdate(v, k)
+			e.setLB.Add(v)
+			e.removeAndUpdate(v, k)
 		}
 	}
 }
@@ -75,37 +75,37 @@ func (s *state) coreDecomp(kmin, kmax int) {
 // h-neighbor (v itself) and are decremented in O(1). Neighbors with setLB
 // raised (lower bound only, or already settled) are skipped entirely —
 // that is the saving h-LB and h-LB+UB are built on.
-func (s *state) removeAndUpdate(v, k int) {
-	s.nbuf = s.trav().Neighborhood(v, s.h, s.alive, s.nbuf)
-	s.alive[v] = false
-	s.rebuf = s.rebuf[:0]
-	for _, e := range s.nbuf {
-		u := int(e.V)
-		if s.setLB[u] || !s.q.Contains(u) {
+func (e *Engine) removeAndUpdate(v, k int) {
+	e.nbuf = e.trav().Neighborhood(v, e.h, e.alive, e.nbuf)
+	e.alive.Remove(v)
+	e.rebuf = e.rebuf[:0]
+	for _, nb := range e.nbuf {
+		u := int(nb.V)
+		if e.setLB.Contains(u) || !e.q.Contains(u) {
 			continue
 		}
-		if int(e.D) < s.h {
-			s.rebuf = append(s.rebuf, e.V)
+		if int(nb.D) < e.h {
+			e.rebuf = append(e.rebuf, nb.V)
 		} else {
-			s.deg[u]--
-			s.stats.Decrements++
-			nk := int(s.deg[u])
+			e.deg[u]--
+			e.stats.Decrements++
+			nk := int(e.deg[u])
 			if nk < k {
 				nk = k
 			}
-			s.q.move(u, nk)
+			e.q.move(u, nk)
 		}
 	}
-	if len(s.rebuf) == 0 {
+	if len(e.rebuf) == 0 {
 		return
 	}
-	s.pool.HDegrees(s.rebuf, s.h, s.alive, s.deg)
-	s.stats.HDegreeComputations += int64(len(s.rebuf))
-	for _, u := range s.rebuf {
-		nk := int(s.deg[u])
+	e.pool.HDegrees(e.rebuf, e.h, e.alive, e.deg)
+	e.stats.HDegreeComputations += int64(len(e.rebuf))
+	for _, u := range e.rebuf {
+		nk := int(e.deg[u])
 		if nk < k {
 			nk = k
 		}
-		s.q.move(int(u), nk)
+		e.q.move(int(u), nk)
 	}
 }

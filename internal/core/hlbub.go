@@ -1,6 +1,6 @@
 package core
 
-import "sort"
+import "slices"
 
 // runHLBUB implements Algorithm 4 (h-LB+UB): compute lower bounds (LB2)
 // and the power-graph upper bound (Algorithm 5), partition the range of
@@ -11,27 +11,28 @@ import "sort"
 // bounds and evicted vertices that cannot reach h-degree kmin. Vertices
 // settled by a higher interval stay in lower intervals as distance
 // carriers but are never re-processed — the key saving over h-LB.
-func (s *state) runHLBUB() {
-	n := s.g.NumVertices()
+func (e *Engine) runHLBUB() {
+	n := e.g.NumVertices()
 	if n == 0 {
 		return
 	}
 
 	// Lines 3–6: initial h-degrees, LB2, LB3 ← 0 (parallel, §4.6).
-	degH := s.pool.HDegreesAll(s.h, s.alive)
-	s.stats.HDegreeComputations += int64(n)
-	lb1 := lb1s(s.g, s.h, s.pool, s.stats)
-	lb2 := s.mergeSeedLB(lb2s(s.g, s.h, lb1))
-	lb3 := make([]int32, n)
+	e.degH = growInt32(e.degH, n)
+	e.pool.HDegrees(e.allVerts(), e.h, e.alive, e.degH)
+	e.stats.HDegreeComputations += int64(n)
+	lb2 := e.mergeSeedLB(e.lb2Into(e.lb1Into()))
+	e.lb3 = growInt32(e.lb3, n)
+	lb3 := e.lb3
 	copy(lb3, lb2)
 
 	// Line 7: upper bounds via implicit power-graph peeling, tightened by
 	// the carried bound when a Maintainer supplies one.
-	ub := s.upperBounds(degH)
-	if s.seedUB != nil {
+	ub := e.upperBoundsInto(e.degH)
+	if e.seedUB != nil {
 		for v := range ub {
-			if s.seedUB[v] < ub[v] {
-				ub[v] = s.seedUB[v]
+			if e.seedUB[v] < ub[v] {
+				ub[v] = e.seedUB[v]
 			}
 		}
 	}
@@ -43,56 +44,51 @@ func (s *state) runHLBUB() {
 			minLB2 = b
 		}
 	}
-	distinct := make(map[int32]struct{}, 64)
-	for _, u := range ub {
-		distinct[u] = struct{}{}
-	}
-	sentinel := minLB2 - 1
-	distinct[sentinel] = struct{}{}
-	u := make([]int, 0, len(distinct))
-	for val := range distinct {
-		u = append(u, int(val))
-	}
-	sort.Sort(sort.Reverse(sort.IntSlice(u)))
+	vals := append(e.ubvals[:0], ub...)
+	vals = append(vals, minLB2-1)
+	slices.Sort(vals)
+	vals = slices.Compact(vals)
+	slices.Reverse(vals)
+	e.ubvals = vals
 
 	// Line 11: top-down covering intervals of S distinct UB values each,
 	// per the semantics of the paper's Example 4. The adaptive default
 	// targets about eight partitions: every partition pays an ImproveLB
 	// pass over V[kmin], so partition count — not width — drives the
 	// overhead (see the ablation benchmarks).
-	step := s.opts.PartitionSize
+	step := e.opts.PartitionSize
 	if step <= 0 {
-		step = (len(u) + 7) / 8
+		step = (len(vals) + 7) / 8
 		if step < 1 {
 			step = 1
 		}
 	}
-	part := make([]int32, 0, n)
-	for j := 0; j < len(u)-1; {
-		kmax := u[j]
+	for j := 0; j < len(vals)-1; {
+		kmax := int(vals[j])
 		jn := j + step
-		if jn > len(u)-1 {
-			jn = len(u) - 1
+		if jn > len(vals)-1 {
+			jn = len(vals) - 1
 		}
-		kmin := u[jn] + 1
+		kmin := int(vals[jn]) + 1
 		j = jn
-		s.stats.Partitions++
+		e.stats.Partitions++
 
 		// Line 12: V[kmin] = {v : UB(v) ≥ kmin} becomes the alive set.
-		part = part[:0]
+		e.part = e.part[:0]
+		e.alive.Clear()
 		for v := 0; v < n; v++ {
-			in := int(ub[v]) >= kmin
-			s.alive[v] = in
-			if in {
-				part = append(part, int32(v))
+			if int(ub[v]) >= kmin {
+				e.alive.Add(v)
+				e.part = append(e.part, int32(v))
 			}
 		}
-		if len(part) == 0 {
+		if len(e.part) == 0 {
 			continue
 		}
 
-		// Lines 13–14: ImproveLB cleans the partition and raises LB3.
-		dirty := s.improveLB(part, kmin, lb3)
+		// Lines 13–14: ImproveLB cleans the partition and raises LB3;
+		// e.dirty marks survivors whose h-degree is only an upper bound.
+		e.improveLB(e.part, kmin, lb3)
 
 		// Lines 15–17: seed the bucket queue. Settled vertices sit at
 		// their (final) core index — above kmax, so they are never
@@ -100,37 +96,37 @@ func (s *state) runHLBUB() {
 		// untouched are seeded with that exact degree (saving the lazy
 		// re-computation); cleaning-affected ones fall back to their best
 		// lower bound with the lazy-degree flag raised.
-		s.q.Clear()
-		for _, v := range part {
-			if !s.alive[v] {
+		e.q.Clear()
+		for _, v := range e.part {
+			if !e.alive.Contains(int(v)) {
 				continue
 			}
 			switch {
-			case s.assigned[v]:
-				s.setLB[v] = true
-				key := int(s.core[v])
+			case e.assigned.Contains(int(v)):
+				e.setLB.Add(int(v))
+				key := int(e.core[v])
 				if int(lb3[v]) > key {
 					key = int(lb3[v])
 				}
-				s.q.insert(int(v), key)
-			case !dirty[v]:
-				s.setLB[v] = false
-				key := int(s.deg[v])
+				e.q.insert(int(v), key)
+			case !e.dirty.Contains(int(v)):
+				e.setLB.Remove(int(v))
+				key := int(e.deg[v])
 				if key < kmin-1 {
 					key = kmin - 1
 				}
-				s.q.insert(int(v), key)
+				e.q.insert(int(v), key)
 			default:
-				s.setLB[v] = true
+				e.setLB.Add(int(v))
 				key := int(lb3[v])
 				if key < kmin-1 {
 					key = kmin - 1
 				}
-				s.q.insert(int(v), key)
+				e.q.insert(int(v), key)
 			}
 		}
 
 		// Line 18: resolve core indices in [kmin, kmax].
-		s.coreDecomp(kmin, kmax)
+		e.coreDecomp(kmin, kmax)
 	}
 }

@@ -9,28 +9,29 @@ package core
 // decremented) h-degree falls below kmin, since such vertices cannot belong
 // to any core of this partition.
 //
-// On return the alive mask reflects the cleaned partition; s.deg holds
+// On return the alive mask reflects the cleaned partition; e.deg holds
 // the h-degrees computed in step (1); lb3 has been raised in place. The
-// returned dirty set marks surviving vertices whose degree was touched by
-// the cleaning cascade: their s.deg value is only an optimistic upper
-// bound. For every clean survivor s.deg is exact even after removals — a
+// e.dirty set marks surviving vertices whose degree was touched by
+// the cleaning cascade: their e.deg value is only an optimistic upper
+// bound. For every clean survivor e.deg is exact even after removals — a
 // removed vertex w can only affect v's h-neighborhood if some vertex
 // within distance h of v routes through w, which forces w itself within
 // distance h of v, i.e. v would have been decremented.
-func (s *state) improveLB(part []int32, kmin int, lb3 []int32) (dirty map[int32]bool) {
+func (e *Engine) improveLB(part []int32, kmin int, lb3 []int32) {
+	e.dirty.Clear()
 	if len(part) == 0 {
-		return nil
+		return
 	}
 	// Step 1: exact h-degrees inside G[V[kmin]] (parallel).
-	s.pool.HDegrees(part, s.h, s.alive, s.deg)
-	s.stats.HDegreeComputations += int64(len(part))
+	e.pool.HDegrees(part, e.h, e.alive, e.deg)
+	e.stats.HDegreeComputations += int64(len(part))
 
 	// Step 2: Property 3 — every partition member's core index is at
 	// least the minimum h-degree within the induced subgraph.
-	minDeg := s.deg[part[0]]
+	minDeg := e.deg[part[0]]
 	for _, v := range part[1:] {
-		if s.deg[v] < minDeg {
-			minDeg = s.deg[v]
+		if e.deg[v] < minDeg {
+			minDeg = e.deg[v]
 		}
 	}
 	for _, v := range part {
@@ -44,33 +45,32 @@ func (s *state) improveLB(part []int32, kmin int, lb3 []int32) (dirty map[int32]
 	// dropping below kmin is a sound eviction test. Assigned vertices
 	// (core ≥ previous kmin > current kmax) can never be evicted: their
 	// h-degree inside the partition is at least their core index.
-	var queue []int32
-	inQueue := make(map[int32]bool, 8)
-	dirty = make(map[int32]bool)
+	e.inQueue.Clear()
+	cascade := e.cascade[:0]
 	for _, v := range part {
-		if s.deg[v] < int32(kmin) {
-			queue = append(queue, v)
-			inQueue[v] = true
+		if e.deg[v] < int32(kmin) {
+			cascade = append(cascade, v)
+			e.inQueue.Add(int(v))
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		if !s.alive[v] {
+	for len(cascade) > 0 {
+		v := cascade[len(cascade)-1]
+		cascade = cascade[:len(cascade)-1]
+		if !e.alive.Contains(int(v)) {
 			continue
 		}
-		s.nbuf = s.trav().Neighborhood(int(v), s.h, s.alive, s.nbuf)
-		s.alive[v] = false
-		for _, e := range s.nbuf {
-			u := e.V
-			s.deg[u]--
-			s.stats.Decrements++
-			dirty[u] = true
-			if s.deg[u] < int32(kmin) && !inQueue[u] {
-				queue = append(queue, u)
-				inQueue[u] = true
+		e.nbuf = e.trav().Neighborhood(int(v), e.h, e.alive, e.nbuf)
+		e.alive.Remove(int(v))
+		for _, nb := range e.nbuf {
+			u := nb.V
+			e.deg[u]--
+			e.stats.Decrements++
+			e.dirty.Add(int(u))
+			if e.deg[u] < int32(kmin) && !e.inQueue.Contains(int(u)) {
+				cascade = append(cascade, u)
+				e.inQueue.Add(int(u))
 			}
 		}
 	}
-	return dirty
+	e.cascade = cascade[:0]
 }

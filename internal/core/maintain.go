@@ -20,12 +20,16 @@ import (
 //
 // The decomposition after each update is exact (the warm bounds only
 // skip provably useless work); updates cost one warm h-LB+UB run plus an
-// O(|E|) graph rebuild. This addresses maintenance in the spirit of the
-// streaming/maintenance literature the paper surveys in §2.
+// O(|E|) graph rebuild. All runs share one Engine, so the scratch arena —
+// h-BFS pool, masks, bucket queue, bound arrays — is allocated once and
+// re-bound to each rebuilt graph. This addresses maintenance in the spirit
+// of the streaming/maintenance literature the paper surveys in §2.
 type Maintainer struct {
 	h     int
 	opts  Options
 	g     *graph.Graph
+	eng   *Engine
+	res   Result // reusable output buffer for warm runs
 	core  []int32
 	edges map[[2]int32]struct{}
 	n     int
@@ -33,15 +37,18 @@ type Maintainer struct {
 
 // NewMaintainer decomposes g once (cold) and prepares for updates.
 func NewMaintainer(g *graph.Graph, h int, opts Options) (*Maintainer, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
 	opts.H = h
 	opts.Algorithm = HLBUB
-	res, err := Decompose(g, opts)
-	if err != nil {
+	m := &Maintainer{h: h, opts: opts, g: g, n: g.NumVertices(), edges: make(map[[2]int32]struct{}, g.NumEdges())}
+	m.eng = NewEngine(g, opts.Workers)
+	if err := m.eng.DecomposeInto(&m.res, opts); err != nil {
 		return nil, err
 	}
-	m := &Maintainer{h: h, opts: opts, g: g, n: g.NumVertices(), edges: make(map[[2]int32]struct{}, g.NumEdges())}
-	m.core = make([]int32, len(res.Core))
-	for v, c := range res.Core {
+	m.core = make([]int32, len(m.res.Core))
+	for v, c := range m.res.Core {
 		m.core[v] = int32(c)
 	}
 	for v := 0; v < g.NumVertices(); v++ {
@@ -130,18 +137,22 @@ func (m *Maintainer) rebuild() {
 }
 
 func (m *Maintainer) redecompose(insert bool) error {
-	opts := m.opts.withDefaults()
-	s := newState(m.g, opts)
+	m.eng.Reset(m.g)
 	// Grow the carried bounds if the vertex set expanded.
 	for len(m.core) < m.g.NumVertices() {
 		m.core = append(m.core, 0)
 	}
 	if insert {
-		s.seedLB = m.core
+		m.eng.seedLB = m.core
 	} else {
-		s.seedUB = m.core
+		m.eng.seedUB = m.core
 	}
-	s.runHLBUB()
-	m.core = append(m.core[:0], s.core...)
+	if err := m.eng.DecomposeInto(&m.res, m.opts); err != nil {
+		return err
+	}
+	m.core = m.core[:0]
+	for _, c := range m.res.Core {
+		m.core = append(m.core, int32(c))
+	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/hbfs"
+	"repro/internal/vset"
 )
 
 // NaiveDecompose computes the (k,h)-core decomposition straight from
@@ -19,10 +20,8 @@ func NaiveDecompose(g *graph.Graph, h int) []int {
 	if n == 0 {
 		return core
 	}
-	alive := make([]bool, n)
-	for i := range alive {
-		alive[i] = true
-	}
+	alive := vset.New(n)
+	alive.Fill()
 	t := hbfs.NewTraversal(g)
 	remaining := n
 	for k := 1; remaining > 0; k++ {
@@ -30,11 +29,11 @@ func NaiveDecompose(g *graph.Graph, h int) []int {
 		for {
 			removed := false
 			for v := 0; v < n; v++ {
-				if !alive[v] {
+				if !alive.Contains(v) {
 					continue
 				}
 				if t.HDegree(v, h, alive) < k {
-					alive[v] = false
+					alive.Remove(v)
 					remaining--
 					removed = true
 				}
@@ -45,7 +44,7 @@ func NaiveDecompose(g *graph.Graph, h int) []int {
 		}
 		// Survivors are in the (k,h)-core.
 		for v := 0; v < n; v++ {
-			if alive[v] {
+			if alive.Contains(v) {
 				core[v] = k
 			}
 		}
@@ -81,20 +80,23 @@ func Validate(g *graph.Graph, h int, core []int) error {
 		}
 	}
 	t := hbfs.NewTraversal(g)
-	alive := make([]bool, n)
+	alive := vset.New(n)
 
 	// Validity at every non-empty level.
 	for k := 1; k <= maxK; k++ {
+		alive.Clear()
 		any := false
 		for v := 0; v < n; v++ {
-			alive[v] = core[v] >= k
-			any = any || alive[v]
+			if core[v] >= k {
+				alive.Add(v)
+				any = true
+			}
 		}
 		if !any {
 			continue
 		}
 		for v := 0; v < n; v++ {
-			if alive[v] {
+			if alive.Contains(v) {
 				if d := t.HDegree(v, h, alive); d < k {
 					return fmt.Errorf("core: Validate: vertex %d claims core ≥ %d but has h-degree %d in C_%d", v, k, d, k)
 				}
@@ -106,9 +108,12 @@ func Validate(g *graph.Graph, h int, core []int) error {
 	// with core(v) = k (otherwise such a vertex belongs to a larger
 	// (k+1,h)-core and its claimed index is too small).
 	for k := 0; k <= maxK; k++ {
+		alive.Clear()
 		present := false
 		for v := 0; v < n; v++ {
-			alive[v] = core[v] >= k
+			if core[v] >= k {
+				alive.Add(v)
+			}
 			if core[v] == k {
 				present = true
 			}
@@ -119,8 +124,8 @@ func Validate(g *graph.Graph, h int, core []int) error {
 		for {
 			removed := false
 			for v := 0; v < n; v++ {
-				if alive[v] && t.HDegree(v, h, alive) < k+1 {
-					alive[v] = false
+				if alive.Contains(v) && t.HDegree(v, h, alive) < k+1 {
+					alive.Remove(v)
 					removed = true
 				}
 			}
@@ -129,7 +134,7 @@ func Validate(g *graph.Graph, h int, core []int) error {
 			}
 		}
 		for v := 0; v < n; v++ {
-			if alive[v] && core[v] == k {
+			if alive.Contains(v) && core[v] == k {
 				return fmt.Errorf("core: Validate: vertex %d claims core %d but survives peeling at %d", v, k, k+1)
 			}
 		}

@@ -32,52 +32,50 @@ func (s *Spectrum) Vector(v int) []int {
 }
 
 // DecomposeSpectrum computes the (k,h)-core decomposition for every
-// h = 1..maxH in one pass, implementing the paper's future-work proposal
-// (§7): since the (k,h−1)-core is contained in the (k,h)-core, the core
-// index at h−1 is a valid per-vertex lower bound at h, and it is usually
-// far tighter than LB2 — each level seeds the next, so the h-LB peeling
-// starts close to the answer. opts.H is ignored; opts.Algorithm selects
-// HLB (default here) or HLBUB for the per-level solver, and HBZ disables
-// the cross-level seeding (baseline behaviour).
+// h = 1..maxH in one pass through a throwaway Engine; see
+// Engine.DecomposeSpectrum.
 func DecomposeSpectrum(g *graph.Graph, maxH int, opts Options) (*Spectrum, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
+	return NewEngine(g, opts.Workers).DecomposeSpectrum(maxH, opts)
+}
+
+// DecomposeSpectrum computes the (k,h)-core decomposition for every
+// h = 1..maxH in one pass, implementing the paper's future-work proposal
+// (§7): since the (k,h−1)-core is contained in the (k,h)-core, the core
+// index at h−1 is a valid per-vertex lower bound at h, and it is usually
+// far tighter than LB2 — each level seeds the next, so the h-LB peeling
+// starts close to the answer. Every level reuses the engine's scratch
+// arena: one h-BFS pool, one bucket queue, one set of masks for all maxH
+// decompositions. opts.H is ignored; opts.Algorithm selects HLB (default
+// here) or HLBUB for the per-level solver, and HBZ disables the
+// cross-level seeding (baseline behaviour).
+func (e *Engine) DecomposeSpectrum(maxH int, opts Options) (*Spectrum, error) {
 	if maxH < 1 {
 		return nil, fmt.Errorf("core: invalid maxH=%d", maxH)
 	}
 	sp := &Spectrum{MaxH: maxH, Core: make([][]int, maxH)}
 	var prev []int32
+	var res Result
 	for h := 1; h <= maxH; h++ {
-		opts := opts
-		opts.H = h
-		opts = opts.withDefaults()
-		s := newState(g, opts)
-		s.seedLB = prev
-		switch opts.Algorithm {
-		case HBZ:
-			s.runHBZ()
-		case HLB, HLBUB:
-			// Both bounded algorithms consume seedLB through their LB2
-			// merge; HLBUB additionally keeps its partitioning.
-			if opts.Algorithm == HLB {
-				s.runHLB()
-			} else {
-				s.runHLBUB()
-			}
-		default:
-			return nil, fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
+		o := opts
+		o.H = h
+		e.seedLB = prev
+		res.Core = nil // each level keeps its own output slice
+		if err := e.DecomposeInto(&res, o); err != nil {
+			return nil, err
 		}
-		level := make([]int, g.NumVertices())
-		for v, c := range s.core {
-			level[v] = int(c)
+		sp.Core[h-1] = res.Core
+		sp.Stats.Visits += res.Stats.Visits
+		sp.Stats.HDegreeComputations += res.Stats.HDegreeComputations
+		sp.Stats.Decrements += res.Stats.Decrements
+		sp.Stats.Partitions += res.Stats.Partitions
+		sp.Stats.Duration += res.Stats.Duration
+		prev = prev[:0]
+		for _, c := range res.Core {
+			prev = append(prev, int32(c))
 		}
-		sp.Core[h-1] = level
-		sp.Stats.Visits += s.pool.Visits()
-		sp.Stats.HDegreeComputations += s.stats.HDegreeComputations
-		sp.Stats.Decrements += s.stats.Decrements
-		sp.Stats.Partitions += s.stats.Partitions
-		prev = append(prev[:0], s.core...)
 	}
 	return sp, nil
 }

@@ -5,8 +5,8 @@ import (
 	"repro/internal/hbfs"
 )
 
-// upperBounds implements Algorithm 5: an upper bound on every core index
-// obtained by peeling the power graph G^h implicitly, without ever
+// upperBoundsInto implements Algorithm 5: an upper bound on every core
+// index obtained by peeling the power graph G^h implicitly, without ever
 // materializing it. The h-neighborhood of a popped vertex is re-computed in
 // the *original* graph each time (Algorithm 5 never shrinks V — that is
 // exactly what makes its result the classic core decomposition of G^h),
@@ -14,23 +14,27 @@ import (
 // is decremented by exactly 1 — an optimistic update, since the true
 // h-degree can drop by more — so the level at which a vertex is popped
 // upper-bounds its (k,h)-core index. degH supplies the initial h-degrees.
-func (s *state) upperBounds(degH []int32) []int32 {
-	n := s.g.NumVertices()
-	ub := make([]int32, n)
-	if s.opts.UpperBound == HDegreeUB {
+// The result lands in (and aliases) the engine's ub scratch; the engine's
+// bucket queue is borrowed and left empty.
+func (e *Engine) upperBoundsInto(degH []int32) []int32 {
+	n := e.g.NumVertices()
+	e.ub = growInt32(e.ub, n)
+	ub := e.ub
+	if e.opts.UpperBound == HDegreeUB {
 		// Ablation baseline (Table 5, "h-degree" column): the raw
 		// h-degree is itself an upper bound on the core index.
 		copy(ub, degH)
 		return ub
 	}
-	ubdeg := make([]int32, n)
+	e.ubdeg = growInt32(e.ubdeg, n)
+	ubdeg := e.ubdeg
 	copy(ubdeg, degH)
-	q := newBucketQueue(n)
+	q := e.q
+	q.Clear()
 	for v := 0; v < n; v++ {
 		q.insert(v, int(ubdeg[v]))
 	}
-	t := s.trav()
-	var nbuf []hbfs.VD
+	t := e.trav()
 	k := 0
 	for q.Len() > 0 {
 		v, kv := q.PopMin(k)
@@ -41,14 +45,15 @@ func (s *state) upperBounds(degH []int32) []int32 {
 			k = kv
 		}
 		ub[v] = int32(k)
-		nbuf = t.Neighborhood(v, s.h, s.alive, nbuf)
-		for _, e := range nbuf {
-			u := int(e.V)
+		// Algorithm 5 peels over the full vertex set, so no alive mask.
+		e.nbuf = t.Neighborhood(v, e.h, nil, e.nbuf)
+		for _, nb := range e.nbuf {
+			u := int(nb.V)
 			if !q.Contains(u) {
 				continue
 			}
 			ubdeg[u]--
-			s.stats.Decrements++
+			e.stats.Decrements++
 			nk := int(ubdeg[u])
 			if nk < k {
 				nk = k
@@ -62,9 +67,13 @@ func (s *state) upperBounds(degH []int32) []int32 {
 // UpperBounds exposes Algorithm 5 for analysis (Table 4): the core-index
 // upper bound of every vertex. workers ≤ 0 selects NumCPU.
 func UpperBounds(g *graph.Graph, h, workers int) []int32 {
-	s := newState(g, Options{H: h, Workers: workers}.withDefaults())
-	degH := s.pool.HDegreesAll(h, s.alive)
-	return s.upperBounds(degH)
+	e := NewEngine(g, workers)
+	e.beginRun(Options{H: h}.withDefaults())
+	e.degH = growInt32(e.degH, g.NumVertices())
+	e.pool.HDegrees(e.allVerts(), e.h, e.alive, e.degH)
+	out := make([]int32, g.NumVertices())
+	copy(out, e.upperBoundsInto(e.degH))
+	return out
 }
 
 // PowerPeelingOrder runs Algorithm 5 and returns the order in which the
@@ -75,16 +84,18 @@ func UpperBounds(g *graph.Graph, h, workers int) []int32 {
 func PowerPeelingOrder(g *graph.Graph, h, workers int) (order []int, ub []int32) {
 	n := g.NumVertices()
 	order = make([]int, 0, n)
-	s := newState(g, Options{H: h, Workers: workers}.withDefaults())
-	degH := s.pool.HDegreesAll(h, s.alive)
+	e := NewEngine(g, workers)
+	e.beginRun(Options{H: h}.withDefaults())
+	e.degH = growInt32(e.degH, n)
+	e.pool.HDegrees(e.allVerts(), e.h, e.alive, e.degH)
 	ubdeg := make([]int32, n)
-	copy(ubdeg, degH)
+	copy(ubdeg, e.degH)
 	ub = make([]int32, n)
 	q := newBucketQueue(n)
 	for v := 0; v < n; v++ {
 		q.insert(v, int(ubdeg[v]))
 	}
-	t := s.trav()
+	t := e.trav()
 	var nbuf []hbfs.VD
 	k := 0
 	for q.Len() > 0 {
@@ -97,9 +108,9 @@ func PowerPeelingOrder(g *graph.Graph, h, workers int) (order []int, ub []int32)
 		}
 		ub[v] = int32(k)
 		order = append(order, v)
-		nbuf = t.Neighborhood(v, s.h, s.alive, nbuf)
-		for _, e := range nbuf {
-			u := int(e.V)
+		nbuf = t.Neighborhood(v, h, nil, nbuf)
+		for _, nb := range nbuf {
+			u := int(nb.V)
 			if !q.Contains(u) {
 				continue
 			}

@@ -3,7 +3,10 @@
 // algorithm in this repository. A Traversal owns reusable scratch memory so
 // repeated searches allocate nothing, and it counts the number of vertices
 // dequeued across all searches — the paper's "number of computed
-// point-to-point distances" metric (Table 3).
+// point-to-point distances" metric (Table 3). Alive masks are packed
+// vset.Sets (see internal/vset), shared with the peeling algorithms and the
+// applications, and the traversal's own "seen" marks are an epoch-cleared
+// vset too — one representation end to end.
 package hbfs
 
 import (
@@ -12,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/vset"
 )
 
 // Traversal holds the scratch state for h-bounded BFS runs on a single
@@ -19,10 +23,9 @@ import (
 // Pool).
 type Traversal struct {
 	g     *graph.Graph
-	seen  []int32 // epoch marks
-	dist  []int32 // distance valid when seen[v] == epoch
+	seen  *vset.Set
+	dist  []int32 // distance valid when seen contains v
 	queue []int32
-	epoch int32
 	// Visits counts vertices dequeued across all searches performed by
 	// this traversal since construction or the last ResetVisits.
 	visits int64
@@ -30,13 +33,22 @@ type Traversal struct {
 
 // NewTraversal returns a Traversal with scratch sized for g.
 func NewTraversal(g *graph.Graph) *Traversal {
+	t := &Traversal{seen: vset.New(0)}
+	t.Reset(g)
+	return t
+}
+
+// Reset re-binds the traversal to g, reusing the existing scratch whenever
+// its capacity suffices. The visit counter is preserved.
+func (t *Traversal) Reset(g *graph.Graph) {
 	n := g.NumVertices()
-	return &Traversal{
-		g:     g,
-		seen:  make([]int32, n),
-		dist:  make([]int32, n),
-		queue: make([]int32, 0, n),
-		epoch: 0,
+	t.g = g
+	t.seen.Resize(n)
+	if cap(t.dist) < n {
+		t.dist = make([]int32, n)
+		t.queue = make([]int32, 0, n)
+	} else {
+		t.dist = t.dist[:n]
 	}
 }
 
@@ -51,22 +63,11 @@ func (t *Traversal) ResetVisits() { t.visits = 0 }
 // for work performed outside a BFS (e.g. neighbor-list decrements).
 func (t *Traversal) AddVisits(n int64) { t.visits += n }
 
-func (t *Traversal) nextEpoch() int32 {
-	t.epoch++
-	if t.epoch == 0 { // wrapped; clear marks and restart
-		for i := range t.seen {
-			t.seen[i] = 0
-		}
-		t.epoch = 1
-	}
-	return t.epoch
-}
-
 // HDegree returns |N_{G[alive]}(src, h)|: the number of alive vertices
 // other than src within distance h of src, where paths may only pass
 // through alive vertices. A nil alive mask means all vertices are alive.
 // If src itself is dead the result is 0.
-func (t *Traversal) HDegree(src, h int, alive []bool) int {
+func (t *Traversal) HDegree(src, h int, alive *vset.Set) int {
 	deg := 0
 	t.Visit(src, h, alive, func(_ int32, _ int32) { deg++ })
 	return deg
@@ -77,15 +78,15 @@ func (t *Traversal) HDegree(src, h int, alive []bool) int {
 // Vertices are reported in BFS (distance, discovery) order. fn must not
 // re-enter this Traversal (the callback runs over the traversal's scratch
 // queue); use a second Traversal for nested searches.
-func (t *Traversal) Visit(src, h int, alive []bool, fn func(u int32, d int32)) {
+func (t *Traversal) Visit(src, h int, alive *vset.Set, fn func(u int32, d int32)) {
 	if src < 0 || src >= t.g.NumVertices() || h < 1 {
 		return
 	}
-	if alive != nil && !alive[src] {
+	if alive != nil && !alive.Contains(src) {
 		return
 	}
-	epoch := t.nextEpoch()
-	t.seen[src] = epoch
+	t.seen.Clear()
+	t.seen.Add(src)
 	t.dist[src] = 0
 	q := t.queue[:0]
 	q = append(q, int32(src))
@@ -98,13 +99,13 @@ func (t *Traversal) Visit(src, h int, alive []bool, fn func(u int32, d int32)) {
 			continue
 		}
 		for _, u := range t.g.Neighbors(int(v)) {
-			if t.seen[u] == epoch {
+			if t.seen.Contains(int(u)) {
 				continue
 			}
-			if alive != nil && !alive[u] {
+			if alive != nil && !alive.Contains(int(u)) {
 				continue
 			}
-			t.seen[u] = epoch
+			t.seen.Add(int(u))
 			t.dist[u] = dv + 1
 			q = append(q, u)
 		}
@@ -118,7 +119,7 @@ func (t *Traversal) Visit(src, h int, alive []bool, fn func(u int32, d int32)) {
 // Neighborhood collects the h-bounded neighborhood of src into dst (reset
 // to length 0 first) as (vertex, distance) pairs and returns it. The
 // returned slice aliases dst's backing array when capacity suffices.
-func (t *Traversal) Neighborhood(src, h int, alive []bool, dst []VD) []VD {
+func (t *Traversal) Neighborhood(src, h int, alive *vset.Set, dst []VD) []VD {
 	dst = dst[:0]
 	t.Visit(src, h, alive, func(u int32, d int32) {
 		dst = append(dst, VD{V: u, D: d})
@@ -161,6 +162,14 @@ func NewPool(g *graph.Graph, workers int) *Pool {
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
+// Reset re-binds every worker traversal to g, reusing scratch capacity.
+func (p *Pool) Reset(g *graph.Graph) {
+	p.g = g
+	for _, t := range p.travs {
+		t.Reset(g)
+	}
+}
+
 // Visits returns the cumulative vertex-dequeue count across all workers.
 func (p *Pool) Visits() int64 {
 	var total int64
@@ -185,7 +194,7 @@ func (p *Pool) Traversal(i int) *Traversal { return p.travs[i] }
 // HDegrees computes deg^h_{G[alive]}(v) for every vertex in verts, writing
 // results into out (indexed by vertex id). Vertices are distributed
 // dynamically over the pool's workers via an atomic cursor.
-func (p *Pool) HDegrees(verts []int32, h int, alive []bool, out []int32) {
+func (p *Pool) HDegrees(verts []int32, h int, alive *vset.Set, out []int32) {
 	if len(verts) == 0 {
 		return
 	}
@@ -224,11 +233,11 @@ func (p *Pool) HDegrees(verts []int32, h int, alive []bool, out []int32) {
 // HDegreesAll computes the h-degree of every vertex of the graph (alive
 // mask applied) and returns a fresh slice indexed by vertex id. Dead
 // vertices report 0.
-func (p *Pool) HDegreesAll(h int, alive []bool) []int32 {
+func (p *Pool) HDegreesAll(h int, alive *vset.Set) []int32 {
 	n := p.g.NumVertices()
 	verts := make([]int32, 0, n)
 	for v := 0; v < n; v++ {
-		if alive == nil || alive[v] {
+		if alive == nil || alive.Contains(v) {
 			verts = append(verts, int32(v))
 		}
 	}

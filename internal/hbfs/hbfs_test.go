@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/graph"
+	"repro/internal/vset"
 )
 
 // pathGraph returns P_n.
@@ -35,7 +36,9 @@ func TestAliveMaskRestrictsPaths(t *testing.T) {
 	// 0-1-2 and 0-3-4-5-2: with 1 dead, d(0,2) becomes 4.
 	g := graph.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {0, 3}, {3, 4}, {4, 5}, {5, 2}})
 	tr := NewTraversal(g)
-	alive := []bool{true, false, true, true, true, true}
+	alive := vset.New(6)
+	alive.Fill()
+	alive.Remove(1)
 	if got := tr.HDegree(0, 2, alive); got != 2 { // {3,4}
 		t.Fatalf("deg²(0) with 1 dead = %d, want 2", got)
 	}
@@ -97,14 +100,32 @@ func TestVisitCountingAndReset(t *testing.T) {
 	}
 }
 
-func TestEpochWraparound(t *testing.T) {
+func TestRepeatedSearchesStaySound(t *testing.T) {
+	// Successive searches reuse the epoch-cleared seen set; results must
+	// not bleed between runs.
 	g := pathGraph(4)
 	tr := NewTraversal(g)
-	tr.epoch = -3 // force wrap within a few searches
 	for i := 0; i < 8; i++ {
 		if got := tr.HDegree(1, 2, nil); got != 3 {
 			t.Fatalf("iteration %d: deg²(1) = %d, want 3", i, got)
 		}
+	}
+}
+
+func TestTraversalReset(t *testing.T) {
+	tr := NewTraversal(pathGraph(4))
+	if got := tr.HDegree(0, 1, nil); got != 1 {
+		t.Fatalf("deg¹(0) on P4 = %d, want 1", got)
+	}
+	// Re-bind to a larger graph: scratch must grow and results be exact.
+	tr.Reset(pathGraph(100))
+	if got := tr.HDegree(50, 2, nil); got != 4 {
+		t.Fatalf("after Reset: deg²(50) on P100 = %d, want 4", got)
+	}
+	// Shrinking reuses capacity.
+	tr.Reset(pathGraph(3))
+	if got := tr.HDegree(1, 1, nil); got != 2 {
+		t.Fatalf("after shrink: deg¹(1) on P3 = %d, want 2", got)
 	}
 }
 
@@ -152,18 +173,15 @@ func TestPoolMatchesSequential(t *testing.T) {
 			b.AddEdge(next(n), next(n))
 		}
 		g := b.Build()
-		alive := make([]bool, n)
-		for v := range alive {
-			alive[v] = next(5) > 0 // ~80% alive
+		alive := vset.New(n)
+		for v := 0; v < n; v++ {
+			if next(5) > 0 { // ~80% alive
+				alive.Add(v)
+			}
 		}
 		h := 1 + next(3)
 		pool := NewPool(g, 4)
-		verts := make([]int32, 0, n)
-		for v := 0; v < n; v++ {
-			if alive[v] {
-				verts = append(verts, int32(v))
-			}
-		}
+		verts := alive.AppendMembers(make([]int32, 0, n))
 		par := make([]int32, n)
 		pool.HDegrees(verts, h, alive, par)
 		seq := NewTraversal(g)

@@ -87,9 +87,28 @@ type Stats = core.Stats
 // Decompose computes the (k,h)-core decomposition of g. Options.H selects
 // the distance threshold (default 2); Options.Algorithm the strategy
 // (default HBZ — pass HLBUB for the paper's fastest variant);
-// Options.Workers the h-BFS parallelism (default NumCPU).
+// Options.Workers the h-BFS parallelism (default NumCPU). Each call
+// allocates a fresh working set; callers that decompose repeatedly should
+// hold an Engine (NewEngine) instead.
 func Decompose(g *Graph, opts Options) (*Result, error) {
 	return core.Decompose(g, opts)
+}
+
+// Engine is a reusable decomposition context bound to one graph: it owns
+// the h-BFS traversal pool, the packed vertex sets, the bucket queue and
+// every scratch array the three algorithms need, and reuses all of it
+// across runs. It is the recommended entry point for serving workloads —
+// repeated Engine.Decompose calls allocate almost nothing (exactly nothing
+// through Engine.DecomposeInto with Workers = 1), where each package-level
+// Decompose call rebuilds the whole working set. An Engine is NOT safe for
+// concurrent use; create one per goroutine.
+type Engine = core.Engine
+
+// NewEngine returns an Engine bound to g with an h-BFS worker pool of the
+// given size (≤ 0 selects NumCPU). The pool size is fixed for the
+// engine's lifetime; Options.Workers is ignored by its methods.
+func NewEngine(g *Graph, workers int) *Engine {
+	return core.NewEngine(g, workers)
 }
 
 // HDegrees returns deg^h(v) — the number of vertices within distance h —
@@ -127,7 +146,9 @@ type Spectrum = core.Spectrum
 // DecomposeSpectrum computes the decompositions for every h = 1..maxH in
 // one pass, using each level's core indices as lower bounds for the next
 // (the paper's future-work proposal: the (k,h−1)-core is contained in the
-// (k,h)-core, so indices are monotone in h).
+// (k,h)-core, so indices are monotone in h). All levels share one Engine
+// scratch arena; use Engine.DecomposeSpectrum to also share it across
+// repeated spectrum queries.
 func DecomposeSpectrum(g *Graph, maxH int, opts Options) (*Spectrum, error) {
 	return core.DecomposeSpectrum(g, maxH, opts)
 }
