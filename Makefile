@@ -1,0 +1,36 @@
+# Developer entry points. CI runs `make bench-smoke`; the bench target is
+# how BENCH_kernels.json at the repository root is (re)generated.
+
+# Benchmarks matched by `make bench` (anchored regexp) and how many times
+# each is repeated for benchstat-quality variance.
+BENCH ?= BenchmarkEngineDecompose$$
+COUNT ?= 6
+
+.PHONY: build test race bench bench-smoke
+
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+race:
+	go test -race ./internal/... .
+
+# bench runs the kernel benchmark suite and records it into
+# BENCH_kernels.json via cmd/benchjson. Drop a baseline run (same format,
+# e.g. produced on the previous commit) at bench_baseline.txt to get a
+# before/after summary with per-benchmark speedups.
+bench:
+	go test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) . | tee bench_current.txt
+	@if [ -f bench_baseline.txt ]; then \
+		go run ./cmd/benchjson -o BENCH_kernels.json before=bench_baseline.txt after=bench_current.txt; \
+	else \
+		go run ./cmd/benchjson -o BENCH_kernels.json after=bench_current.txt; \
+	fi
+	@echo wrote BENCH_kernels.json
+
+# bench-smoke compiles and runs every benchmark in the module for exactly
+# one iteration — fast enough for CI, and enough to keep them from rotting.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x ./...

@@ -1,0 +1,265 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// performance record (the BENCH_*.json files tracked at the repository
+// root). Each input is a labelled run — typically "before" and "after"
+// around an optimization — whose raw benchmark lines are preserved
+// verbatim (so they can be fed back to benchstat) next to the parsed
+// per-benchmark numbers. When both a "before" and an "after" run are
+// present, a summary section reports the geometric-mean ns/op of each
+// benchmark and the resulting speedup.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -count 6 . > bench_current.txt
+//	benchjson -o BENCH_kernels.json before=bench_baseline.txt after=bench_current.txt
+//	go test -bench . -benchmem . | benchjson -o BENCH_kernels.json
+//
+// With no label=path arguments, standard input is read as a single run
+// labelled "current".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader) error {
+	out := ""
+	var inputs [][2]string // (label, path)
+	for i := 0; i < len(args); i++ {
+		switch {
+		case args[i] == "-o":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-o needs a path")
+			}
+			out = args[i]
+		case strings.Contains(args[i], "="):
+			label, path, _ := strings.Cut(args[i], "=")
+			inputs = append(inputs, [2]string{label, path})
+		default:
+			return fmt.Errorf("unrecognized argument %q (want -o out.json or label=bench.txt)", args[i])
+		}
+	}
+
+	rec := &Record{Runs: map[string]*Run{}}
+	if len(inputs) == 0 {
+		r, err := parseRun(stdin)
+		if err != nil {
+			return err
+		}
+		rec.absorb("current", r)
+	}
+	for _, in := range inputs {
+		f, err := os.Open(in[1])
+		if err != nil {
+			return err
+		}
+		r, err := parseRun(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", in[1], err)
+		}
+		rec.absorb(in[0], r)
+	}
+	rec.summarize()
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+// Record is the top-level JSON document.
+type Record struct {
+	Goos    string              `json:"goos,omitempty"`
+	Goarch  string              `json:"goarch,omitempty"`
+	CPU     string              `json:"cpu,omitempty"`
+	Runs    map[string]*Run     `json:"runs"`
+	Summary map[string]*Summary `json:"summary,omitempty"`
+}
+
+// Run is one labelled benchmark invocation: the verbatim benchmark lines
+// (benchstat input) plus the parsed results, one entry per line — repeated
+// -count measurements stay separate entries.
+type Run struct {
+	Raw        []string `json:"raw"`
+	Benchmarks []Bench  `json:"benchmarks"`
+}
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Summary compares the geometric-mean ns/op of one benchmark between the
+// "before" and "after" runs.
+type Summary struct {
+	BeforeNsPerOp float64 `json:"before_ns_per_op"`
+	AfterNsPerOp  float64 `json:"after_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// absorb merges a parsed run into the record under the given label,
+// promoting the run's platform metadata to the top level.
+func (rec *Record) absorb(label string, r *parsedRun) {
+	if r.goos != "" {
+		rec.Goos = r.goos
+	}
+	if r.goarch != "" {
+		rec.Goarch = r.goarch
+	}
+	if r.cpu != "" {
+		rec.CPU = r.cpu
+	}
+	rec.Runs[label] = &Run{Raw: r.raw, Benchmarks: r.benches}
+}
+
+// summarize fills the Summary section when both canonical labels exist.
+func (rec *Record) summarize() {
+	before, after := rec.Runs["before"], rec.Runs["after"]
+	if before == nil || after == nil {
+		return
+	}
+	rec.Summary = map[string]*Summary{}
+	b := geomeans(before.Benchmarks)
+	a := geomeans(after.Benchmarks)
+	names := make([]string, 0, len(a))
+	for name := range a {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bm, ok := b[name]
+		if !ok || a[name] <= 0 {
+			continue
+		}
+		rec.Summary[name] = &Summary{
+			BeforeNsPerOp: round2(bm),
+			AfterNsPerOp:  round2(a[name]),
+			Speedup:       round2(bm / a[name]),
+		}
+	}
+}
+
+// geomeans returns the geometric-mean ns/op per benchmark name.
+func geomeans(benches []Bench) map[string]float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, b := range benches {
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		sums[b.Name] += math.Log(b.NsPerOp)
+		counts[b.Name]++
+	}
+	out := make(map[string]float64, len(sums))
+	for name, s := range sums {
+		out[name] = math.Exp(s / float64(counts[name]))
+	}
+	return out
+}
+
+func round2(f float64) float64 { return math.Round(f*100) / 100 }
+
+type parsedRun struct {
+	goos, goarch, cpu string
+	raw               []string
+	benches           []Bench
+}
+
+// parseRun consumes `go test -bench` text output.
+func parseRun(r io.Reader) (*parsedRun, error) {
+	run := &parsedRun{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			run.goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			run.goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			run.cpu = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			run.raw = append(run.raw, line)
+			run.benches = append(run.benches, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(run.benches) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return run, nil
+}
+
+// parseBenchLine parses one result line, e.g.
+//
+//	BenchmarkEngineDecompose/h-LB-8   139   8354442 ns/op   0 B/op   0 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped from the name.
+func parseBenchLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Bench{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Bench{}, false
+	}
+	return b, true
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBefore = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineDecompose/h-BZ-8         	       3	 400000000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineDecompose/h-LB-8         	     139	   9000000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineDecompose/h-LB-8         	     139	   8000000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	7.226s
+`
+
+const sampleAfter = `goos: linux
+goarch: amd64
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineDecompose/h-BZ-8         	       5	 200000000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineDecompose/h-LB-8         	     225	   4500000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineDecompose/h-LB-8         	     225	   4000000 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseRun(t *testing.T) {
+	run, err := parseRun(strings.NewReader(sampleBefore))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.goos != "linux" || run.cpu == "" {
+		t.Fatalf("metadata not parsed: %+v", run)
+	}
+	if len(run.benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(run.benches))
+	}
+	b := run.benches[0]
+	if b.Name != "EngineDecompose/h-BZ" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix must be stripped)", b.Name)
+	}
+	if b.Iterations != 3 || b.NsPerOp != 4e8 || b.AllocsPerOp != 0 {
+		t.Fatalf("bad parse: %+v", b)
+	}
+}
+
+func TestParseRunRejectsEmpty(t *testing.T) {
+	if _, err := parseRun(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("expected an error for input without benchmark lines")
+	}
+}
+
+func TestBeforeAfterSummary(t *testing.T) {
+	dir := t.TempDir()
+	before := filepath.Join(dir, "before.txt")
+	after := filepath.Join(dir, "after.txt")
+	out := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(before, []byte(sampleBefore), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(after, []byte(sampleAfter), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-o", out, "before=" + before, "after=" + after}, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(rec.Runs))
+	}
+	s := rec.Summary["EngineDecompose/h-BZ"]
+	if s == nil || s.Speedup != 2 {
+		t.Fatalf("h-BZ summary = %+v, want 2x speedup", s)
+	}
+	// h-LB uses the geometric mean of the two -count measurements:
+	// √(9e6·8e6) / √(4.5e6·4e6) = 2.
+	if s := rec.Summary["EngineDecompose/h-LB"]; s == nil || s.Speedup != 2 {
+		t.Fatalf("h-LB summary = %+v, want 2x speedup", s)
+	}
+	// Raw lines survive verbatim for benchstat replay.
+	if len(rec.Runs["before"].Raw) != 3 || !strings.HasPrefix(rec.Runs["before"].Raw[0], "Benchmark") {
+		t.Fatalf("raw lines not preserved: %+v", rec.Runs["before"].Raw)
+	}
+}
+
+func TestStdinSingleRun(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	if err := run([]string{"-o", out}, strings.NewReader(sampleAfter)); err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	data, _ := os.ReadFile(out)
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Runs["current"] == nil || rec.Summary != nil {
+		t.Fatalf("stdin run should land under \"current\" with no summary: %+v", rec)
+	}
+}

@@ -7,6 +7,7 @@
 //	khexp -list                      # show experiment ids
 //	khexp table3                     # one experiment at default scale
 //	khexp -max-vertices 600 all      # everything, subsampled for speed
+//	khexp -workers 4 -cpuprofile cpu.prof table3   # profile the kernels
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/expt"
@@ -23,6 +25,7 @@ func main() {
 	var (
 		list        = flag.Bool("list", false, "list experiment ids and exit")
 		workers     = flag.Int("workers", 0, "h-BFS worker count (0 = NumCPU)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 		maxVertices = flag.Int("max-vertices", 0, "snowball-subsample datasets above this size (0 = full registry size)")
 		maxH        = flag.Int("max-h", 0, "cap the largest h (0 = experiment default)")
 		datasets    = flag.String("datasets", "", "comma-separated dataset override")
@@ -59,7 +62,24 @@ func main() {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
 
-	if err := run(flag.Arg(0), cfg, os.Stdout); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "khexp:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "khexp:", err)
+			os.Exit(1)
+		}
+	}
+	err := run(flag.Arg(0), cfg, os.Stdout)
+	if *cpuprofile != "" {
+		// Stop before the error exit below: os.Exit skips defers, and a
+		// truncated profile is worthless.
+		pprof.StopCPUProfile()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "khexp:", err)
 		os.Exit(1)
 	}

@@ -45,6 +45,30 @@ func benchmarkFresh(b *testing.B, workers int) {
 	}
 }
 
+// BenchmarkEngineDecompose is the headline kernel benchmark: one warm
+// Engine, h = 2, each of the three algorithms as a sub-benchmark. The
+// `make bench` target records it into BENCH_kernels.json.
+func BenchmarkEngineDecompose(b *testing.B) {
+	g := benchGraph()
+	for _, alg := range []khcore.Algorithm{khcore.HBZ, khcore.HLB, khcore.HLBUB} {
+		b.Run(alg.String(), func(b *testing.B) {
+			eng := khcore.NewEngine(g, 1)
+			opts := khcore.Options{H: 2, Algorithm: alg, Workers: 1}
+			var res khcore.Result
+			if err := eng.DecomposeInto(&res, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.DecomposeInto(&res, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkEngineDecomposeRepeated(b *testing.B) { benchmarkEngineRepeated(b, 1) }
 func BenchmarkDecomposeFresh(b *testing.B)          { benchmarkFresh(b, 1) }
 func BenchmarkEngineDecomposeParallel(b *testing.B) { benchmarkEngineRepeated(b, 0) }

@@ -43,9 +43,9 @@ func fillLB1(g *graph.Graph, h int, pool *hbfs.Pool, verts, dst []int32, stats *
 		}
 		return
 	}
-	pool.HDegrees(verts, h/2, nil, dst)
+	evaluated := pool.HDegrees(verts, h/2, nil, dst)
 	if stats != nil {
-		stats.HDegreeComputations += int64(n)
+		stats.HDegreeComputations += evaluated
 	}
 }
 

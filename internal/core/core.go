@@ -229,6 +229,12 @@ type Engine struct {
 	// dirty and inQueue serve the ImproveLB cleaning cascade.
 	dirty   *vset.Set
 	inQueue *vset.Set
+	// capped marks vertices whose deg entry is a truncated (early-exited)
+	// h-degree: a lower bound on the true value. Capped entries are still
+	// decrement-tracked — a decrement keeps a lower bound a lower bound —
+	// and are re-counted (with a fresh cap) when the peeling frontier pops
+	// them, settling only on an exact count. See coreDecomp.
+	capped *vset.Set
 
 	core []int32
 	// deg is the current h-degree of a vertex w.r.t. the alive set; it is
@@ -237,11 +243,11 @@ type Engine struct {
 	q   *bucketQueue
 
 	// Scratch buffers, reused across runs.
-	nbuf    []hbfs.VD
 	rebuf   []int32 // batched h-degree recomputations after a removal
 	verts   []int32 // whole-vertex-set id list
 	part    []int32 // current partition's members (HLBUB)
 	cascade []int32 // ImproveLB eviction stack
+	dips    []int32 // ImproveLB eviction candidates awaiting re-verification
 	lbA     []int32 // lower-bound propagation double buffer
 	lbB     []int32
 	lb3     []int32
@@ -274,10 +280,17 @@ func NewEngine(g *graph.Graph, workers int) *Engine {
 		setLB:    vset.New(0),
 		dirty:    vset.New(0),
 		inQueue:  vset.New(0),
+		capped:   vset.New(0),
 	}
 	e.Reset(g)
 	return e
 }
+
+// Close retires the engine's h-BFS worker goroutines. Optional: an
+// abandoned engine's workers are reclaimed by a finalizer, but explicit
+// Close makes teardown deterministic. The engine remains usable, running
+// single-threaded afterwards.
+func (e *Engine) Close() { e.pool.Close() }
 
 // Graph returns the graph the engine is currently bound to.
 func (e *Engine) Graph() *graph.Graph { return e.g }
@@ -297,6 +310,7 @@ func (e *Engine) Reset(g *graph.Graph) {
 	e.setLB.Resize(n)
 	e.dirty.Resize(n)
 	e.inQueue.Resize(n)
+	e.capped.Resize(n)
 	e.core = growInt32(e.core, n)
 	e.deg = growInt32(e.deg, n)
 	// The bound arrays (lbA/lbB/lb3/degH/ub/ubdeg) are algorithm-specific
@@ -375,6 +389,7 @@ func (e *Engine) beginRun(opts Options) {
 	e.alive.Fill()
 	e.assigned.Clear()
 	e.setLB.Clear()
+	e.capped.Clear()
 	for i := range e.core {
 		e.core[i] = 0
 	}

@@ -9,9 +9,9 @@ func (e *Engine) runHBZ() {
 	if n == 0 {
 		return
 	}
-	// Lines 1–3: initial h-degrees (parallel, §4.6) and bucketing.
-	e.pool.HDegrees(e.allVerts(), e.h, e.alive, e.deg)
-	e.stats.HDegreeComputations += int64(n)
+	// Lines 1–3: initial h-degrees (parallel count-only sweep, §4.6) and
+	// bucketing.
+	e.stats.HDegreeComputations += e.pool.HDegrees(e.allVerts(), e.h, e.alive, e.deg)
 	for v := 0; v < n; v++ {
 		e.q.insert(v, int(e.deg[v]))
 	}
@@ -29,20 +29,22 @@ func (e *Engine) runHBZ() {
 		e.core[v] = int32(k)
 		e.assigned.Add(v)
 
-		// Collect N_{G[V]}(v, h) before deleting v, then delete.
-		e.nbuf = e.trav().Neighborhood(v, e.h, e.alive, e.nbuf)
+		// Collect N_{G[V]}(v, h) before deleting v, then delete. The ball
+		// aliases the traversal scratch; it is consumed into rebuf before
+		// the batched recomputation below reuses that scratch.
+		verts, _ := e.trav().Ball(v, e.h, e.alive)
 		e.alive.Remove(v)
 
 		// Re-compute the h-degree of every h-neighbor (batched over the
-		// worker pool) and re-bucket.
+		// worker pool) and re-bucket. Algorithm 1 recomputes exact values
+		// for the whole neighborhood — that is what makes it the baseline.
 		e.rebuf = e.rebuf[:0]
-		for _, nb := range e.nbuf {
-			if e.q.Contains(int(nb.V)) {
-				e.rebuf = append(e.rebuf, nb.V)
+		for _, u := range verts {
+			if e.q.Contains(int(u)) {
+				e.rebuf = append(e.rebuf, u)
 			}
 		}
-		e.pool.HDegrees(e.rebuf, e.h, e.alive, e.deg)
-		e.stats.HDegreeComputations += int64(len(e.rebuf))
+		e.stats.HDegreeComputations += e.pool.HDegrees(e.rebuf, e.h, e.alive, e.deg)
 		for _, u := range e.rebuf {
 			nk := int(e.deg[u])
 			if nk < k {

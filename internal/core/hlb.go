@@ -1,5 +1,13 @@
 package core
 
+// lazyCapSlack is the headroom the lazy re-computation in coreDecomp adds
+// above the frontier before truncating the h-degree count: a vertex popped
+// at level k is counted up to k+1+lazyCapSlack. Zero maximizes laziness
+// but re-pops a capped vertex at every level; a little slack lets vertices
+// whose h-degree sits just above the frontier come out exact, so they ride
+// the O(1) decrement path instead of paying another truncated BFS.
+const lazyCapSlack = 16
+
 // runHLB implements Algorithm 2 (h-LB): vertices are seeded into the
 // buckets at their lower bound (LB2, or LB1 under the ablation option) with
 // the setLB flag raised, so the expensive h-degree computation of a vertex
@@ -22,11 +30,20 @@ func (e *Engine) runHLB() {
 }
 
 // coreDecomp is Algorithm 3: peel buckets kmin-1 .. kmax, assigning core
-// indices in [kmin, kmax]. Vertices popped with setLB raised get their
-// h-degree computed lazily and are re-bucketed; vertices popped with a
-// known h-degree are settled at the current level and removed, updating
-// only neighbors whose exact h-degree is being tracked (setLB false) —
-// with the O(1) decrement shortcut for neighbors at distance exactly h.
+// indices in [kmin, kmax]. Vertices popped with the setLB or capped flag
+// raised get their h-degree counted lazily — truncated at k+1+lazyCapSlack,
+// since a count that reaches the cap already proves the vertex lies above
+// the frontier — and are re-bucketed; vertices popped with a known exact
+// h-degree are settled at the current level and removed, updating only
+// neighbors whose h-degree is being tracked (setLB false) — with the O(1)
+// decrement shortcut for neighbors at distance exactly h.
+//
+// Soundness of the truncated counts: a capped deg entry is a lower bound
+// on the true h-degree, and decrements preserve that, so a vertex's bucket
+// key ≥ k implies either a sound core lower bound ≥ k (setLB) or a true
+// h-degree ≥ min(key, deg entry) — the frontier never advances past a
+// vertex whose true h-degree it should have caught, and a vertex is only
+// ever settled after an exact (un-truncated) count at the frontier.
 //
 // Deviation from the paper's pseudocode (documented in DESIGN.md): lazy
 // re-bucketing inserts at max(deg, k), not deg, because the recomputed
@@ -40,18 +57,26 @@ func (e *Engine) coreDecomp(kmin, kmax int) {
 	if kmax > e.q.MaxKey() {
 		kmax = e.q.MaxKey()
 	}
+	t := e.trav()
 	for k := start; k <= kmax; k++ {
 		for {
 			v := e.q.PopFrom(k)
 			if v < 0 {
 				break
 			}
-			if e.setLB.Contains(v) {
-				// Lazily compute the true h-degree w.r.t. the alive set.
-				d := e.trav().HDegree(v, e.h, e.alive)
+			if e.setLB.Contains(v) || e.capped.Contains(v) {
+				// Lazily count the h-degree w.r.t. the alive set, but only
+				// far enough to place v relative to the frontier.
+				cap := k + 1 + lazyCapSlack
+				d := t.HDegreeCapped(v, e.h, e.alive, cap)
 				e.stats.HDegreeComputations++
 				e.deg[v] = int32(d)
 				e.setLB.Remove(v)
+				if d >= cap {
+					e.capped.Add(v)
+				} else {
+					e.capped.Remove(v)
+				}
 				if d < k {
 					d = k
 				}
@@ -70,22 +95,31 @@ func (e *Engine) coreDecomp(kmin, kmax int) {
 }
 
 // removeAndUpdate deletes v from the alive set and refreshes the h-degrees
-// of its h-neighborhood: neighbors at distance < h are re-computed (batched
-// over the worker pool), neighbors at distance exactly h lose exactly one
-// h-neighbor (v itself) and are decremented in O(1). Neighbors with setLB
-// raised (lower bound only, or already settled) are skipped entirely —
-// that is the saving h-LB and h-LB+UB are built on.
+// of its h-neighborhood in O(1) per neighbor: neighbors on the distance-h
+// shell lose exactly one h-neighbor (v itself) and are decremented, while
+// neighbors in the interior (distance < h) — whose loss cannot be told
+// without a recount — are "parked": moved to the current frontier bucket
+// with the capped flag raised, so the peeling loop re-counts them lazily
+// when it pops them. Re-parking an already-parked vertex is free, and a
+// recount costs at most cap discoveries, so what used to be one full
+// batched recount per removal becomes at most one truncated recount per
+// park. A parked vertex sits at the frontier, so it is always re-counted
+// before the frontier can advance past it — the key-soundness invariant
+// of coreDecomp is untouched.
+// Neighbors with setLB raised (lower bound only, or already settled) are
+// skipped entirely — that is the saving h-LB and h-LB+UB are built on.
 func (e *Engine) removeAndUpdate(v, k int) {
-	e.nbuf = e.trav().Neighborhood(v, e.h, e.alive, e.nbuf)
+	verts, shellStart := e.trav().Ball(v, e.h, e.alive)
 	e.alive.Remove(v)
-	e.rebuf = e.rebuf[:0]
-	for _, nb := range e.nbuf {
-		u := int(nb.V)
-		if e.setLB.Contains(u) || !e.q.Contains(u) {
+	for i, u := range verts {
+		ui := int(u)
+		if e.setLB.Contains(ui) || !e.q.Contains(ui) {
 			continue
 		}
-		if int(nb.D) < e.h {
-			e.rebuf = append(e.rebuf, nb.V)
+		if i < shellStart {
+			e.deg[u] = int32(k)
+			e.capped.Add(ui)
+			e.q.move(ui, k)
 		} else {
 			e.deg[u]--
 			e.stats.Decrements++
@@ -93,19 +127,7 @@ func (e *Engine) removeAndUpdate(v, k int) {
 			if nk < k {
 				nk = k
 			}
-			e.q.move(u, nk)
+			e.q.move(ui, nk)
 		}
-	}
-	if len(e.rebuf) == 0 {
-		return
-	}
-	e.pool.HDegrees(e.rebuf, e.h, e.alive, e.deg)
-	e.stats.HDegreeComputations += int64(len(e.rebuf))
-	for _, u := range e.rebuf {
-		nk := int(e.deg[u])
-		if nk < k {
-			nk = k
-		}
-		e.q.move(int(u), nk)
 	}
 }

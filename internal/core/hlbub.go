@@ -17,10 +17,11 @@ func (e *Engine) runHLBUB() {
 		return
 	}
 
-	// Lines 3–6: initial h-degrees, LB2, LB3 ← 0 (parallel, §4.6).
+	// Lines 3–6: initial h-degrees, LB2, LB3 ← 0 (parallel, §4.6). The
+	// batch reports how many sources it actually evaluated, so the stat
+	// stays honest when an alive mask (or a dead vertex) shrinks the work.
 	e.degH = growInt32(e.degH, n)
-	e.pool.HDegrees(e.allVerts(), e.h, e.alive, e.degH)
-	e.stats.HDegreeComputations += int64(n)
+	e.stats.HDegreeComputations += e.pool.HDegrees(e.allVerts(), e.h, e.alive, e.degH)
 	lb2 := e.mergeSeedLB(e.lb2Into(e.lb1Into()))
 	e.lb3 = growInt32(e.lb3, n)
 	lb3 := e.lb3
@@ -87,15 +88,20 @@ func (e *Engine) runHLBUB() {
 		}
 
 		// Lines 13–14: ImproveLB cleans the partition and raises LB3;
-		// e.dirty marks survivors whose h-degree is only an upper bound.
-		e.improveLB(e.part, kmin, lb3)
+		// e.dirty marks survivors whose h-degree the cleaning touched, and
+		// e.capped (cleared here — marks from the previous partition are
+		// stale) the survivors whose h-degree count was truncated.
+		e.capped.Clear()
+		e.improveLB(e.part, kmin, kmax, lb3)
 
 		// Lines 15–17: seed the bucket queue. Settled vertices sit at
 		// their (final) core index — above kmax, so they are never
 		// popped. Unsettled vertices whose h-degree survived the cleaning
 		// untouched are seeded with that exact degree (saving the lazy
 		// re-computation); cleaning-affected ones fall back to their best
-		// lower bound with the lazy-degree flag raised.
+		// lower bound with the lazy-degree flag raised — or, when
+		// ImproveLB truncated the count, at the capped degree with the
+		// capped flag still up, so the peeling re-counts it on demand.
 		e.q.Clear()
 		for _, v := range e.part {
 			if !e.alive.Contains(int(v)) {

@@ -1,33 +1,53 @@
 package core
 
 // improveLB implements Algorithm 6 for one partition: given the partition's
-// vertex set as the current alive mask, it (1) computes the exact h-degree
-// of every partition vertex inside the induced subgraph, (2) derives the
-// LB3 bound of Property 3 — the minimum h-degree over the induced subgraph
-// lower-bounds the core index of every partition member — and (3) "cleans"
-// the partition by cascading removal of vertices whose (optimistically
-// decremented) h-degree falls below kmin, since such vertices cannot belong
-// to any core of this partition.
+// vertex set as the current alive mask, it (1) computes the h-degree of
+// every partition vertex inside the induced subgraph — truncated just above
+// kmax, the largest level this partition can settle, since any count that
+// reaches the cap already places the vertex beyond every decision the
+// partition makes — (2) derives the LB3 bound of Property 3, and (3)
+// "cleans" the partition by cascading removal of vertices whose
+// (optimistically decremented) h-degree falls below kmin, since such
+// vertices cannot belong to any core of this partition.
 //
-// On return the alive mask reflects the cleaned partition; e.deg holds
-// the h-degrees computed in step (1); lb3 has been raised in place. The
-// e.dirty set marks surviving vertices whose degree was touched by
-// the cleaning cascade: their e.deg value is only an optimistic upper
-// bound. For every clean survivor e.deg is exact even after removals — a
+// Truncation bookkeeping: vertices whose count hit the cap are marked in
+// e.capped — their deg entry is a lower bound on the true h-degree, which
+// the cleaning cascade must not treat as an upper bound. When decrements
+// drag a capped entry below kmin, the vertex is re-verified with the
+// threshold kernel (HDegreeAtLeast semantics) before it may be evicted:
+// eviction only ever acts on exact counts. The LB3 minimum stays sound
+// because a truncated minimum can only under-estimate the true minimum,
+// and LB3 is a lower bound.
+//
+// On return the alive mask reflects the cleaned partition; e.deg holds the
+// (possibly capped, flagged) h-degrees of step (1); lb3 has been raised in
+// place. The e.dirty set marks surviving vertices whose degree was touched
+// by the cleaning cascade: their e.deg value is no longer trustworthy. For
+// every clean survivor e.deg is exact-or-capped even after removals — a
 // removed vertex w can only affect v's h-neighborhood if some vertex
 // within distance h of v routes through w, which forces w itself within
 // distance h of v, i.e. v would have been decremented.
-func (e *Engine) improveLB(part []int32, kmin int, lb3 []int32) {
+func (e *Engine) improveLB(part []int32, kmin, kmax int, lb3 []int32) {
 	e.dirty.Clear()
 	if len(part) == 0 {
 		return
 	}
-	// Step 1: exact h-degrees inside G[V[kmin]] (parallel).
-	e.pool.HDegrees(part, e.h, e.alive, e.deg)
-	e.stats.HDegreeComputations += int64(len(part))
+	// Step 1: h-degrees inside G[V[kmin]] (parallel count-only sweep,
+	// truncated above the partition's top level).
+	capd := kmax + 1 + lazyCapSlack
+	e.stats.HDegreeComputations += e.pool.HDegreesCapped(part, e.h, e.alive, capd, e.deg)
+	for _, v := range part {
+		if int(e.deg[v]) >= capd {
+			e.capped.Add(int(v))
+		} else {
+			e.capped.Remove(int(v))
+		}
+	}
 
 	// Step 2: Property 3 — every partition member's core index is at
-	// least the minimum h-degree within the induced subgraph.
+	// least the minimum h-degree within the induced subgraph. A capped
+	// entry under-estimates its vertex's true h-degree, so the truncated
+	// minimum is still a valid lower bound.
 	minDeg := e.deg[part[0]]
 	for _, v := range part[1:] {
 		if e.deg[v] < minDeg {
@@ -41,10 +61,12 @@ func (e *Engine) improveLB(part []int32, kmin int, lb3 []int32) {
 	}
 
 	// Step 3: cascade-clean vertices that cannot reach h-degree kmin.
-	// Decrement-only updates give an upper bound on the true h-degree, so
-	// dropping below kmin is a sound eviction test. Assigned vertices
-	// (core ≥ previous kmin > current kmax) can never be evicted: their
-	// h-degree inside the partition is at least their core index.
+	// Exact decrement-only updates give an upper bound on the true
+	// h-degree, so dropping below kmin is a sound eviction test; capped
+	// entries are re-verified first. Assigned vertices (core ≥ previous
+	// kmin > current kmax) can never be evicted: their h-degree inside the
+	// partition is at least min(core index, cap) ≥ kmin.
+	t := e.trav()
 	e.inQueue.Clear()
 	cascade := e.cascade[:0]
 	for _, v := range part {
@@ -59,17 +81,37 @@ func (e *Engine) improveLB(part []int32, kmin int, lb3 []int32) {
 		if !e.alive.Contains(int(v)) {
 			continue
 		}
-		e.nbuf = e.trav().Neighborhood(int(v), e.h, e.alive, e.nbuf)
+		verts, _ := t.Ball(int(v), e.h, e.alive)
 		e.alive.Remove(int(v))
-		for _, nb := range e.nbuf {
-			u := nb.V
+		e.dips = e.dips[:0]
+		for _, u := range verts {
 			e.deg[u]--
 			e.stats.Decrements++
 			e.dirty.Add(int(u))
 			if e.deg[u] < int32(kmin) && !e.inQueue.Contains(int(u)) {
-				cascade = append(cascade, u)
-				e.inQueue.Add(int(u))
+				e.dips = append(e.dips, u)
 			}
+		}
+		// verts aliases the traversal scratch, so the re-verifications run
+		// only after the ball has been consumed.
+		for _, u := range e.dips {
+			if e.capped.Contains(int(u)) {
+				// The entry was a truncated lower bound; count again, far
+				// enough to decide the eviction.
+				d := t.HDegreeCapped(int(u), e.h, e.alive, kmin+lazyCapSlack)
+				e.stats.HDegreeComputations++
+				e.deg[u] = int32(d)
+				if d >= kmin+lazyCapSlack {
+					// Still truncated — and still safely above kmin.
+				} else {
+					e.capped.Remove(int(u))
+				}
+				if d >= kmin {
+					continue // survives the eviction test after all
+				}
+			}
+			cascade = append(cascade, u)
+			e.inQueue.Add(int(u))
 		}
 	}
 	e.cascade = cascade[:0]

@@ -4,9 +4,66 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
-	"repro/internal/hbfs"
 	"repro/internal/vset"
 )
+
+// naiveBFS is a deliberately plain h-bounded BFS used only by the naive
+// reference decomposition and the independent verifier. It shares no code
+// with the optimized kernels in internal/hbfs — the differential tests
+// compare the two implementations against each other, so the oracle must
+// not inherit a kernel bug.
+type naiveBFS struct {
+	mark  []int32 // mark[v] == epoch ⟺ v reached this search
+	dist  []int32 // valid while mark[v] == epoch
+	queue []int32
+	epoch int32
+}
+
+func newNaiveBFS(n int) *naiveBFS {
+	return &naiveBFS{
+		mark:  make([]int32, n),
+		dist:  make([]int32, n),
+		queue: make([]int32, 0, n),
+		epoch: 0,
+	}
+}
+
+// hDegree counts the vertices other than src within distance h of src,
+// paths restricted to alive vertices. Textbook queue-and-distance BFS.
+func (b *naiveBFS) hDegree(g *graph.Graph, src, h int, alive *vset.Set) int {
+	if src < 0 || src >= g.NumVertices() || h < 1 {
+		return 0
+	}
+	if alive != nil && !alive.Contains(src) {
+		return 0
+	}
+	b.epoch++
+	b.mark[src] = b.epoch
+	b.dist[src] = 0
+	q := b.queue[:0]
+	q = append(q, int32(src))
+	count := 0
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		if int(b.dist[v]) >= h {
+			continue
+		}
+		for _, u := range g.Neighbors(int(v)) {
+			if b.mark[u] == b.epoch {
+				continue
+			}
+			if alive != nil && !alive.Contains(int(u)) {
+				continue
+			}
+			b.mark[u] = b.epoch
+			b.dist[u] = b.dist[v] + 1
+			q = append(q, u)
+			count++
+		}
+	}
+	b.queue = q[:0]
+	return count
+}
 
 // NaiveDecompose computes the (k,h)-core decomposition straight from
 // Definition 2 by repeated fixpoint peeling: for k = 1, 2, ... it removes
@@ -22,7 +79,7 @@ func NaiveDecompose(g *graph.Graph, h int) []int {
 	}
 	alive := vset.New(n)
 	alive.Fill()
-	t := hbfs.NewTraversal(g)
+	b := newNaiveBFS(n)
 	remaining := n
 	for k := 1; remaining > 0; k++ {
 		// Peel to the (k,h)-core fixpoint.
@@ -32,7 +89,7 @@ func NaiveDecompose(g *graph.Graph, h int) []int {
 				if !alive.Contains(v) {
 					continue
 				}
-				if t.HDegree(v, h, alive) < k {
+				if b.hDegree(g, v, h, alive) < k {
 					alive.Remove(v)
 					remaining--
 					removed = true
@@ -61,7 +118,9 @@ func NaiveDecompose(g *graph.Graph, h int) []int {
 //     the (k+1,h)-core: peeling {v : core(v) ≥ k} at threshold k+1 must
 //     remove exactly the vertices with core(v) = k.
 //
-// It returns nil if the decomposition is correct.
+// It returns nil if the decomposition is correct. Like NaiveDecompose it
+// runs on the plain reference BFS, independent of the optimized kernels it
+// is auditing.
 func Validate(g *graph.Graph, h int, core []int) error {
 	n := g.NumVertices()
 	if len(core) != n {
@@ -79,7 +138,7 @@ func Validate(g *graph.Graph, h int, core []int) error {
 			maxK = c
 		}
 	}
-	t := hbfs.NewTraversal(g)
+	b := newNaiveBFS(n)
 	alive := vset.New(n)
 
 	// Validity at every non-empty level.
@@ -97,7 +156,7 @@ func Validate(g *graph.Graph, h int, core []int) error {
 		}
 		for v := 0; v < n; v++ {
 			if alive.Contains(v) {
-				if d := t.HDegree(v, h, alive); d < k {
+				if d := b.hDegree(g, v, h, alive); d < k {
 					return fmt.Errorf("core: Validate: vertex %d claims core ≥ %d but has h-degree %d in C_%d", v, k, d, k)
 				}
 			}
@@ -124,7 +183,7 @@ func Validate(g *graph.Graph, h int, core []int) error {
 		for {
 			removed := false
 			for v := 0; v < n; v++ {
-				if alive.Contains(v) && t.HDegree(v, h, alive) < k+1 {
+				if alive.Contains(v) && b.hDegree(g, v, h, alive) < k+1 {
 					alive.Remove(v)
 					removed = true
 				}

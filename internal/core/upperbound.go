@@ -2,7 +2,6 @@ package core
 
 import (
 	"repro/internal/graph"
-	"repro/internal/hbfs"
 )
 
 // upperBoundsInto implements Algorithm 5: an upper bound on every core
@@ -45,10 +44,11 @@ func (e *Engine) upperBoundsInto(degH []int32) []int32 {
 			k = kv
 		}
 		ub[v] = int32(k)
-		// Algorithm 5 peels over the full vertex set, so no alive mask.
-		e.nbuf = t.Neighborhood(v, e.h, nil, e.nbuf)
-		for _, nb := range e.nbuf {
-			u := int(nb.V)
+		// Algorithm 5 peels over the full vertex set, so no alive mask;
+		// the ball is consumed before the next pop reuses the scratch.
+		verts, _ := t.Ball(v, e.h, nil)
+		for _, nb := range verts {
+			u := int(nb)
 			if !q.Contains(u) {
 				continue
 			}
@@ -96,7 +96,6 @@ func PowerPeelingOrder(g *graph.Graph, h, workers int) (order []int, ub []int32)
 		q.insert(v, int(ubdeg[v]))
 	}
 	t := e.trav()
-	var nbuf []hbfs.VD
 	k := 0
 	for q.Len() > 0 {
 		v, kv := q.PopMin(k)
@@ -108,9 +107,9 @@ func PowerPeelingOrder(g *graph.Graph, h, workers int) (order []int, ub []int32)
 		}
 		ub[v] = int32(k)
 		order = append(order, v)
-		nbuf = t.Neighborhood(v, h, nil, nbuf)
-		for _, nb := range nbuf {
-			u := int(nb.V)
+		verts, _ := t.Ball(v, h, nil)
+		for _, nb := range verts {
+			u := int(nb)
 			if !q.Contains(u) {
 				continue
 			}

@@ -124,53 +124,67 @@ func (b *Builder) NumVertices() int { return b.n }
 
 // Build assembles the immutable Graph. The builder may be reused afterwards;
 // previously added edges are retained.
+//
+// Construction is a two-pass LSD counting sort over the 2m directed edges
+// — first grouped by destination, then stably scattered by source — so
+// every adjacency list comes out sorted in one O(n + m) pass, replacing
+// the former global comparison sort plus a per-list sort.Slice sweep.
+// Duplicates land adjacent within each list and are compacted in place.
 func (b *Builder) Build() *Graph {
-	pairs := make([][2]int32, len(b.pairs))
-	copy(pairs, b.pairs)
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i][0] != pairs[j][0] {
-			return pairs[i][0] < pairs[j][0]
-		}
-		return pairs[i][1] < pairs[j][1]
-	})
-	// Deduplicate.
-	uniq := pairs[:0]
-	for i, p := range pairs {
-		if i > 0 && p == pairs[i-1] {
-			continue
-		}
-		uniq = append(uniq, p)
-	}
-	pairs = uniq
-
 	n := b.n
-	deg := make([]int32, n)
-	for _, p := range pairs {
-		deg[p[0]]++
-		deg[p[1]]++
+	// Pass 1: bucket every directed edge (u→v and v→u) by its
+	// destination; byDstSrc[i] is the source of the i-th edge in
+	// destination order.
+	cnt := make([]int32, n+1)
+	for _, p := range b.pairs {
+		cnt[p[0]+1]++
+		cnt[p[1]+1]++
 	}
+	for v := 0; v < n; v++ {
+		cnt[v+1] += cnt[v]
+	}
+	byDstSrc := make([]int32, 2*len(b.pairs))
+	pos := make([]int32, n)
+	copy(pos, cnt[:n])
+	for _, p := range b.pairs {
+		byDstSrc[pos[p[1]]] = p[0]
+		pos[p[1]]++
+		byDstSrc[pos[p[0]]] = p[1]
+		pos[p[0]]++
+	}
+
+	// Pass 2: scatter by source while walking destinations in ascending
+	// order — each adjacency list fills with ascending neighbor ids. The
+	// source degrees equal the destination counts (the edge set is
+	// symmetric), so cnt doubles as the offset table.
 	offsets := make([]int32, n+1)
+	copy(offsets, cnt)
+	edges := make([]int32, 2*len(b.pairs))
+	copy(pos, offsets[:n])
+	for w := 0; w < n; w++ {
+		for i := cnt[w]; i < cnt[w+1]; i++ {
+			u := byDstSrc[i]
+			edges[pos[u]] = int32(w)
+			pos[u]++
+		}
+	}
+
+	// Compact duplicate edges in place (they are adjacent within each
+	// sorted list; self-loops were dropped at AddEdge).
+	out := int32(0)
 	for v := 0; v < n; v++ {
-		offsets[v+1] = offsets[v] + deg[v]
+		start, end := offsets[v], offsets[v+1]
+		offsets[v] = out
+		for i := start; i < end; i++ {
+			if i > start && edges[i] == edges[i-1] {
+				continue
+			}
+			edges[out] = edges[i]
+			out++
+		}
 	}
-	edges := make([]int32, offsets[n])
-	cursor := make([]int32, n)
-	copy(cursor, offsets[:n])
-	for _, p := range pairs {
-		edges[cursor[p[0]]] = p[1]
-		cursor[p[0]]++
-		edges[cursor[p[1]]] = p[0]
-		cursor[p[1]]++
-	}
-	g := &Graph{offsets: offsets, edges: edges}
-	// Adjacency lists come out sorted because pairs are sorted by (lo, hi)
-	// and each list receives first its higher-ordered partners... which is
-	// not guaranteed for the "hi" endpoint; sort each list explicitly.
-	for v := 0; v < n; v++ {
-		adj := g.edges[g.offsets[v]:g.offsets[v+1]]
-		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
-	}
-	return g
+	offsets[n] = out
+	return &Graph{offsets: offsets, edges: edges[:out]}
 }
 
 // FromEdges is a convenience constructor: it builds a graph with n vertices

@@ -1,0 +1,37 @@
+package graph
+
+import "testing"
+
+// benchPairs builds a deterministic pseudo-random edge list with duplicates,
+// the shape Builder.Build sees from the generators and edge-list readers.
+func benchPairs(n, m int) [][2]int {
+	pairs := make([][2]int, 0, m)
+	r := uint64(0x9e3779b97f4a7c15)
+	next := func() int {
+		r = r*6364136223846793005 + 1442695040888963407
+		return int((r >> 33) % uint64(n))
+	}
+	for i := 0; i < m; i++ {
+		pairs = append(pairs, [2]int{next(), next()})
+	}
+	return pairs
+}
+
+// BenchmarkBuilderBuild measures CSR assembly from a raw edge list
+// (normalization, sorting, dedup) — the satellite target of the
+// counting-sort construction.
+func BenchmarkBuilderBuild(b *testing.B) {
+	const n, m = 20000, 100000
+	pairs := benchPairs(n, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld := NewBuilder(n)
+		for _, p := range pairs {
+			bld.AddEdge(p[0], p[1])
+		}
+		if g := bld.Build(); g.NumVertices() != n {
+			b.Fatal("wrong vertex count")
+		}
+	}
+}

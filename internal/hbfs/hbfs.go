@@ -1,19 +1,39 @@
 // Package hbfs implements h-bounded breadth-first search over a graph with
 // an "alive" vertex mask, which is the workhorse of every (k,h)-core
-// algorithm in this repository. A Traversal owns reusable scratch memory so
-// repeated searches allocate nothing, and it counts the number of vertices
-// dequeued across all searches — the paper's "number of computed
-// point-to-point distances" metric (Table 3). Alive masks are packed
-// vset.Sets (see internal/vset), shared with the peeling algorithms and the
-// applications, and the traversal's own "seen" marks are an epoch-cleared
-// vset too — one representation end to end.
+// algorithm in this repository. The package exposes a small family of
+// specialized kernels instead of one generic callback traversal, so each
+// algorithm pays only for what it needs:
+//
+//   - HDegree — count-only sweep: no distances are materialized and no
+//     callback runs; the BFS is level-synchronous, so the frontier
+//     boundaries replace the per-vertex distance array entirely.
+//   - HDegreeCapped / HDegreeAtLeast — threshold kernels that abort the
+//     traversal as soon as the requested number of reachable vertices has
+//     been found; peeling loops use them to test an h-degree against the
+//     current frontier without exploring the full h-ball.
+//   - Ball — the zero-copy neighborhood: reached vertices in BFS order,
+//     split into the distance-<h interior and the distance-exactly-h shell
+//     (the shell loses exactly one h-neighbor when the source is deleted,
+//     which is the O(1)-decrement shortcut of the peeling algorithms).
+//   - Visit / Neighborhood — the compatibility layer for callers that want
+//     per-vertex distances; distances are reconstructed from the level
+//     boundaries, still without a distance array.
+//
+// Every kernel has an h = 1 fast path that reads the adjacency list (and
+// the alive mask) directly instead of running a BFS, so classic-core
+// workloads never touch the queue.
+//
+// A Traversal owns reusable scratch memory so repeated searches allocate
+// nothing, and it counts the number of vertices it enqueues across all
+// searches — the paper's "number of computed point-to-point distances"
+// metric (Table 3). Early-exiting kernels count exactly the vertices of
+// the truncated traversal. Alive masks are packed vset.Sets (see
+// internal/vset), shared with the peeling algorithms and the applications,
+// and the traversal's own "seen" marks are an epoch-cleared vset too — one
+// representation end to end.
 package hbfs
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/graph"
 	"repro/internal/vset"
 )
@@ -22,18 +42,24 @@ import (
 // graph. It is NOT safe for concurrent use; create one per worker (see
 // Pool).
 type Traversal struct {
-	g     *graph.Graph
-	seen  *vset.Set
-	dist  []int32 // distance valid when seen contains v
+	g *graph.Graph
+	// seen is a plain (un-stamped) bitset over vertex ids. Invariant: it
+	// is all-zero between searches — every search marks only the vertices
+	// it enqueues and unmarks them from the queue before returning, so no
+	// epoch bookkeeping is paid in the hot loop.
+	seen  []uint64
 	queue []int32
-	// Visits counts vertices dequeued across all searches performed by
+	// levels[d] is the queue index one past the distance-d block of the
+	// last full search; levels[0] is always 1 (the source block).
+	levels []int32
+	// visits counts vertices enqueued across all searches performed by
 	// this traversal since construction or the last ResetVisits.
 	visits int64
 }
 
 // NewTraversal returns a Traversal with scratch sized for g.
 func NewTraversal(g *graph.Graph) *Traversal {
-	t := &Traversal{seen: vset.New(0)}
+	t := &Traversal{}
 	t.Reset(g)
 	return t
 }
@@ -43,17 +69,37 @@ func NewTraversal(g *graph.Graph) *Traversal {
 func (t *Traversal) Reset(g *graph.Graph) {
 	n := g.NumVertices()
 	t.g = g
-	t.seen.Resize(n)
-	if cap(t.dist) < n {
-		t.dist = make([]int32, n)
-		t.queue = make([]int32, 0, n)
+	if w := (n + 63) / 64; cap(t.seen) < w {
+		t.seen = make([]uint64, w) // zeroed: the between-searches invariant
 	} else {
-		t.dist = t.dist[:n]
+		t.seen = t.seen[:w]
+	}
+	if cap(t.queue) < n {
+		t.queue = make([]int32, 0, n)
+	}
+	t.queue = t.queue[:0]
+}
+
+// seenTest reports whether u is marked.
+func (t *Traversal) seenTest(u int32) bool {
+	return t.seen[u>>6]>>(uint(u)&63)&1 != 0
+}
+
+// seenMark marks u.
+func (t *Traversal) seenMark(u int32) {
+	t.seen[u>>6] |= 1 << (uint(u) & 63)
+}
+
+// clearSeen restores the all-zero invariant by unmarking the enqueued
+// vertices (only enqueued vertices are ever marked).
+func (t *Traversal) clearSeen(q []int32) {
+	for _, v := range q {
+		t.seen[v>>6] = 0
 	}
 }
 
-// Visits returns the cumulative number of vertices dequeued by this
-// traversal's searches.
+// Visits returns the cumulative number of vertices enqueued by this
+// traversal's searches (truncated searches count only what they explored).
 func (t *Traversal) Visits() int64 { return t.visits }
 
 // ResetVisits zeroes the visit counter.
@@ -63,56 +109,223 @@ func (t *Traversal) ResetVisits() { t.visits = 0 }
 // for work performed outside a BFS (e.g. neighbor-list decrements).
 func (t *Traversal) AddVisits(n int64) { t.visits += n }
 
+// valid reports whether src is a live in-range source for a search of
+// radius h.
+func (t *Traversal) valid(src, h int, alive *vset.Set) bool {
+	if src < 0 || src >= t.g.NumVertices() || h < 1 {
+		return false
+	}
+	return alive == nil || alive.Contains(src)
+}
+
+// ball runs the full level-synchronous h-bounded BFS from src, leaving the
+// reached vertices in t.queue in (distance, discovery) order — queue[0] is
+// src, then the distance-1 block, and so on — and recording the block
+// boundaries in t.levels. It returns the queue and the index where the
+// distance-exactly-h block starts (len(queue) when the ball's radius is
+// below h). The caller must finish with the returned slice before starting
+// another search on this traversal.
+func (t *Traversal) ball(src, h int, alive *vset.Set) (q []int32, shellStart int) {
+	q = append(t.queue[:0], int32(src))
+	t.seenMark(int32(src))
+	t.levels = append(t.levels[:0], 1)
+	levelStart := 0
+	for d := 1; d <= h; d++ {
+		levelEnd := len(q)
+		for i := levelStart; i < levelEnd; i++ {
+			for _, u := range t.g.Neighbors(int(q[i])) {
+				if t.seenTest(u) {
+					continue
+				}
+				if alive != nil && !alive.Contains(int(u)) {
+					continue
+				}
+				t.seenMark(u)
+				q = append(q, u)
+			}
+		}
+		if len(q) == levelEnd {
+			// The frontier died before distance h: no shell.
+			shellStart = len(q)
+			goto done
+		}
+		t.levels = append(t.levels, int32(len(q)))
+		levelStart = levelEnd
+	}
+	shellStart = levelStart
+done:
+	t.clearSeen(q)
+	t.queue = q
+	t.visits += int64(len(q))
+	return q, shellStart
+}
+
 // HDegree returns |N_{G[alive]}(src, h)|: the number of alive vertices
 // other than src within distance h of src, where paths may only pass
 // through alive vertices. A nil alive mask means all vertices are alive.
-// If src itself is dead the result is 0.
+// If src itself is dead the result is 0. This is the count-only kernel: no
+// distances are written and no callback runs.
 func (t *Traversal) HDegree(src, h int, alive *vset.Set) int {
+	if !t.valid(src, h, alive) {
+		return 0
+	}
+	if h == 1 {
+		return t.hDegree1(src, alive)
+	}
+	q, _ := t.ball(src, h, alive)
+	return len(q) - 1
+}
+
+// hDegree1 is the h = 1 fast path: the h-degree is the (alive-masked)
+// adjacency degree, read without touching the BFS queue.
+func (t *Traversal) hDegree1(src int, alive *vset.Set) int {
+	adj := t.g.Neighbors(src)
+	if alive == nil {
+		t.visits += int64(len(adj)) + 1
+		return len(adj)
+	}
 	deg := 0
-	t.Visit(src, h, alive, func(_ int32, _ int32) { deg++ })
+	for _, u := range adj {
+		if alive.Contains(int(u)) {
+			deg++
+		}
+	}
+	t.visits += int64(deg) + 1
 	return deg
+}
+
+// HDegreeCapped returns min(deg^h(src), cap): the search aborts as soon as
+// cap reachable vertices have been found, so callers that only compare an
+// h-degree against a threshold pay for at most cap discoveries instead of
+// the whole h-ball. A result < cap is the exact h-degree; a result equal
+// to cap means only that the h-degree is ≥ cap. The visit counter reflects
+// the truncated traversal exactly. cap ≤ 0 returns 0 immediately.
+func (t *Traversal) HDegreeCapped(src, h int, alive *vset.Set, cap int) int {
+	if cap <= 0 || !t.valid(src, h, alive) {
+		return 0
+	}
+	if h == 1 {
+		return t.hDegree1Capped(src, alive, cap)
+	}
+	q := append(t.queue[:0], int32(src))
+	t.seenMark(int32(src))
+	levelStart := 0
+	for d := 1; d <= h; d++ {
+		levelEnd := len(q)
+		for i := levelStart; i < levelEnd; i++ {
+			for _, u := range t.g.Neighbors(int(q[i])) {
+				if t.seenTest(u) {
+					continue
+				}
+				if alive != nil && !alive.Contains(int(u)) {
+					continue
+				}
+				t.seenMark(u)
+				q = append(q, u)
+				if len(q) > cap {
+					// cap reachable vertices found (src excluded); every
+					// enqueued vertex is within distance ≤ h, so the bound
+					// is already proven.
+					t.clearSeen(q)
+					t.queue = q
+					t.visits += int64(len(q))
+					return cap
+				}
+			}
+		}
+		if len(q) == levelEnd {
+			break
+		}
+		levelStart = levelEnd
+	}
+	t.clearSeen(q)
+	t.queue = q
+	t.visits += int64(len(q))
+	return len(q) - 1
+}
+
+// hDegree1Capped scans the adjacency list until cap alive neighbors have
+// been found, mirroring the truncated-BFS accounting of HDegreeCapped.
+func (t *Traversal) hDegree1Capped(src int, alive *vset.Set, cap int) int {
+	deg := 0
+	for _, u := range t.g.Neighbors(src) {
+		if alive == nil || alive.Contains(int(u)) {
+			deg++
+			if deg >= cap {
+				break
+			}
+		}
+	}
+	t.visits += int64(deg) + 1
+	return deg
+}
+
+// HDegreeAtLeast reports whether deg^h_{G[alive]}(src) ≥ k, aborting the
+// BFS as soon as the answer is decided: k discoveries prove it, queue
+// exhaustion refutes it. k ≤ 0 is trivially true.
+func (t *Traversal) HDegreeAtLeast(src, h int, alive *vset.Set, k int) bool {
+	if k <= 0 {
+		return true
+	}
+	return t.HDegreeCapped(src, h, alive, k) >= k
+}
+
+// Ball runs a full h-bounded BFS from src and returns the reached vertices
+// (excluding src) in (distance, discovery) order, together with the index
+// where the distance-exactly-h shell starts — shellStart == len(verts)
+// when the ball's radius is below h. Deleting src decreases the h-degree
+// of every shell vertex by exactly one, which is what makes the split
+// worth exposing. The returned slice aliases the traversal's scratch (or,
+// on the h = 1 fast path with a nil mask, the graph's adjacency storage):
+// it is read-only and valid only until the next search on this traversal.
+func (t *Traversal) Ball(src, h int, alive *vset.Set) (verts []int32, shellStart int) {
+	if !t.valid(src, h, alive) {
+		return nil, 0
+	}
+	if h == 1 {
+		adj := t.g.Neighbors(src)
+		if alive == nil {
+			t.visits += int64(len(adj)) + 1
+			return adj, 0
+		}
+		q := t.queue[:0]
+		for _, u := range adj {
+			if alive.Contains(int(u)) {
+				q = append(q, u)
+			}
+		}
+		t.queue = q
+		t.visits += int64(len(q)) + 1
+		return q, 0
+	}
+	q, shell := t.ball(src, h, alive)
+	return q[1:], shell - 1
 }
 
 // Visit runs an h-bounded BFS from src over alive vertices and invokes fn
 // for every reached vertex u ≠ src with its distance d(src,u) ∈ [1, h].
-// Vertices are reported in BFS (distance, discovery) order. fn must not
-// re-enter this Traversal (the callback runs over the traversal's scratch
-// queue); use a second Traversal for nested searches.
+// Vertices are reported in BFS (distance, discovery) order, after the
+// traversal has completed. fn must not re-enter this Traversal; use a
+// second Traversal for nested searches.
 func (t *Traversal) Visit(src, h int, alive *vset.Set, fn func(u int32, d int32)) {
-	if src < 0 || src >= t.g.NumVertices() || h < 1 {
+	if !t.valid(src, h, alive) {
 		return
 	}
-	if alive != nil && !alive.Contains(src) {
+	if h == 1 {
+		// Ball's fast path has already materialized (or aliased) the alive
+		// neighbors, so fn may freely mutate the mask while it runs — the
+		// same post-traversal timing the BFS path guarantees.
+		verts, _ := t.Ball(src, 1, alive)
+		for _, u := range verts {
+			fn(u, 1)
+		}
 		return
 	}
-	t.seen.Clear()
-	t.seen.Add(src)
-	t.dist[src] = 0
-	q := t.queue[:0]
-	q = append(q, int32(src))
-	hh := int32(h)
-	for head := 0; head < len(q); head++ {
-		v := q[head]
-		t.visits++
-		dv := t.dist[v]
-		if dv >= hh {
-			continue
+	q, _ := t.ball(src, h, alive)
+	for d := 1; d < len(t.levels); d++ {
+		for i := t.levels[d-1]; i < t.levels[d]; i++ {
+			fn(q[i], int32(d))
 		}
-		for _, u := range t.g.Neighbors(int(v)) {
-			if t.seen.Contains(int(u)) {
-				continue
-			}
-			if alive != nil && !alive.Contains(int(u)) {
-				continue
-			}
-			t.seen.Add(int(u))
-			t.dist[u] = dv + 1
-			q = append(q, u)
-		}
-	}
-	t.queue = q[:0]
-	for _, v := range q[1:len(q):len(q)] {
-		fn(v, t.dist[v])
 	}
 }
 
@@ -131,117 +344,4 @@ func (t *Traversal) Neighborhood(src, h int, alive *vset.Set, dst []VD) []VD {
 type VD struct {
 	V int32
 	D int32
-}
-
-// Pool runs batch h-degree computations with a fixed number of workers,
-// mirroring §4.6 of the paper (one h-BFS per vertex, dynamically assigned
-// to threads). Visit counts from all workers are aggregated into the pool.
-type Pool struct {
-	g       *graph.Graph
-	workers int
-	travs   []*Traversal
-}
-
-// NewPool creates a pool of the given size for graph g. workers ≤ 0 selects
-// runtime.NumCPU().
-func NewPool(g *graph.Graph, workers int) *Pool {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	p := &Pool{g: g, workers: workers}
-	p.travs = make([]*Traversal, workers)
-	for i := range p.travs {
-		p.travs[i] = NewTraversal(g)
-	}
-	return p
-}
-
-// Workers returns the pool size.
-func (p *Pool) Workers() int { return p.workers }
-
-// Reset re-binds every worker traversal to g, reusing scratch capacity.
-func (p *Pool) Reset(g *graph.Graph) {
-	p.g = g
-	for _, t := range p.travs {
-		t.Reset(g)
-	}
-}
-
-// Visits returns the cumulative vertex-dequeue count across all workers.
-func (p *Pool) Visits() int64 {
-	var total int64
-	for _, t := range p.travs {
-		total += t.Visits()
-	}
-	return total
-}
-
-// ResetVisits zeroes all worker counters.
-func (p *Pool) ResetVisits() {
-	for _, t := range p.travs {
-		t.ResetVisits()
-	}
-}
-
-// Traversal returns the dedicated traversal of worker i (0 ≤ i < Workers()).
-// Worker 0's traversal doubles as the sequential scratch for the
-// single-threaded parts of the algorithms.
-func (p *Pool) Traversal(i int) *Traversal { return p.travs[i] }
-
-// HDegrees computes deg^h_{G[alive]}(v) for every vertex in verts, writing
-// results into out (indexed by vertex id). Vertices are distributed
-// dynamically over the pool's workers via an atomic cursor.
-func (p *Pool) HDegrees(verts []int32, h int, alive *vset.Set, out []int32) {
-	if len(verts) == 0 {
-		return
-	}
-	if p.workers == 1 || len(verts) < 64 {
-		t := p.travs[0]
-		for _, v := range verts {
-			out[v] = int32(t.HDegree(int(v), h, alive))
-		}
-		return
-	}
-	var cursor int64
-	var wg sync.WaitGroup
-	const chunk = 32
-	for w := 0; w < p.workers; w++ {
-		wg.Add(1)
-		go func(t *Traversal) {
-			defer wg.Done()
-			for {
-				start := atomic.AddInt64(&cursor, chunk) - chunk
-				if start >= int64(len(verts)) {
-					return
-				}
-				end := start + chunk
-				if end > int64(len(verts)) {
-					end = int64(len(verts))
-				}
-				for _, v := range verts[start:end] {
-					out[v] = int32(t.HDegree(int(v), h, alive))
-				}
-			}
-		}(p.travs[w])
-	}
-	wg.Wait()
-}
-
-// HDegreesAll computes the h-degree of every vertex of the graph (alive
-// mask applied) and returns a fresh slice indexed by vertex id. Dead
-// vertices report 0.
-func (p *Pool) HDegreesAll(h int, alive *vset.Set) []int32 {
-	n := p.g.NumVertices()
-	verts := make([]int32, 0, n)
-	for v := 0; v < n; v++ {
-		if alive == nil || alive.Contains(v) {
-			verts = append(verts, int32(v))
-		}
-	}
-	out := make([]int32, n)
-	p.HDegrees(verts, h, alive, out)
-	return out
 }

@@ -1,0 +1,257 @@
+// Persistent worker pool for batch h-degree computations, mirroring §4.6
+// of the paper (one h-BFS per vertex, dynamically assigned to threads).
+// Earlier revisions spawned fresh goroutines on every batch; the pool now
+// keeps long-lived helpers parked on a channel between batches, so the
+// steady-state cost of a batch is one wake-up per helper plus the atomic
+// cursor traffic.
+package hbfs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/vset"
+)
+
+// parallelBatchMin is the batch size below which the publisher runs the
+// whole batch on worker 0 rather than waking the helpers.
+const parallelBatchMin = 64
+
+// batchChunk is the number of vertices a worker claims per cursor bump.
+const batchChunk = 32
+
+// Pool runs batch h-degree computations with a fixed number of workers.
+// Helper goroutines are spawned lazily on the first large batch and then
+// persist, parked between batches; the publishing goroutine doubles as
+// worker 0, so a single-worker pool never spawns anything. Visit counts
+// from all workers aggregate into the pool. A Pool is NOT safe for
+// concurrent use: one batch at a time.
+type Pool struct {
+	s *poolShared
+}
+
+// poolShared is the state the helper goroutines retain. It deliberately
+// excludes the Pool wrapper itself so that an abandoned Pool becomes
+// unreachable, its finalizer runs, and the parked helpers exit instead of
+// leaking.
+type poolShared struct {
+	g       *graph.Graph
+	workers int
+	travs   []*Traversal
+
+	// The published batch. Written by the publisher before the helpers are
+	// woken, read by helpers, and cleared after wg resolves — the wake
+	// channel orders the writes, the WaitGroup orders the clear.
+	verts []int32
+	h     int
+	alive *vset.Set
+	out   []int32
+	cap   int // 0 = exact h-degrees, > 0 = capped kernel
+
+	cursor    atomic.Int64
+	evaluated atomic.Int64
+	wg        sync.WaitGroup
+
+	wake    chan struct{}
+	quit    chan struct{}
+	spawned bool
+	closed  bool
+}
+
+// NewPool creates a pool of the given size for graph g. workers ≤ 0 selects
+// runtime.NumCPU().
+func NewPool(g *graph.Graph, workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s := &poolShared{
+		g:       g,
+		workers: workers,
+		travs:   make([]*Traversal, workers),
+		wake:    make(chan struct{}, workers-1),
+		quit:    make(chan struct{}),
+	}
+	for i := range s.travs {
+		s.travs[i] = NewTraversal(g)
+	}
+	return &Pool{s: s}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.s.workers }
+
+// Reset re-binds every worker traversal to g, reusing scratch capacity.
+// Must not be called while a batch is in flight (helpers are parked
+// between batches, so calls between batches are safe).
+func (p *Pool) Reset(g *graph.Graph) {
+	p.s.g = g
+	for _, t := range p.s.travs {
+		t.Reset(g)
+	}
+}
+
+// Close retires the helper goroutines. It is idempotent, runs as the
+// pool's finalizer when an unclosed pool becomes unreachable, and leaves
+// the pool usable — subsequent batches simply run on worker 0 alone.
+func (p *Pool) Close() {
+	s := p.s
+	if s.spawned && !s.closed {
+		close(s.quit)
+	}
+	s.closed = true
+	runtime.SetFinalizer(p, nil)
+}
+
+// ensureHelpers spawns the persistent helper goroutines on first use.
+func (p *Pool) ensureHelpers() {
+	s := p.s
+	if s.spawned {
+		return
+	}
+	s.spawned = true
+	for i := 1; i < s.workers; i++ {
+		go helperLoop(s, s.travs[i])
+	}
+	runtime.SetFinalizer(p, (*Pool).Close)
+}
+
+// helperLoop parks on the wake channel, drains its share of the published
+// batch, and parks again.
+func helperLoop(s *poolShared, t *Traversal) {
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.wake:
+			s.run(t)
+			s.wg.Done()
+		}
+	}
+}
+
+// run drains batch chunks via the atomic cursor until the batch is empty.
+func (s *poolShared) run(t *Traversal) {
+	n := int64(len(s.verts))
+	var evaluated int64
+	for {
+		start := s.cursor.Add(batchChunk) - batchChunk
+		if start >= n {
+			break
+		}
+		end := start + batchChunk
+		if end > n {
+			end = n
+		}
+		for _, v := range s.verts[start:end] {
+			if s.alive == nil || s.alive.Contains(int(v)) {
+				evaluated++
+			}
+			if s.cap > 0 {
+				s.out[v] = int32(t.HDegreeCapped(int(v), s.h, s.alive, s.cap))
+			} else {
+				s.out[v] = int32(t.HDegree(int(v), s.h, s.alive))
+			}
+		}
+	}
+	s.evaluated.Add(evaluated)
+}
+
+// Visits returns the cumulative vertex-visit count across all workers.
+func (p *Pool) Visits() int64 {
+	var total int64
+	for _, t := range p.s.travs {
+		total += t.Visits()
+	}
+	return total
+}
+
+// ResetVisits zeroes all worker counters.
+func (p *Pool) ResetVisits() {
+	for _, t := range p.s.travs {
+		t.ResetVisits()
+	}
+}
+
+// Traversal returns the dedicated traversal of worker i (0 ≤ i < Workers()).
+// Worker 0's traversal doubles as the sequential scratch for the
+// single-threaded parts of the algorithms.
+func (p *Pool) Traversal(i int) *Traversal { return p.s.travs[i] }
+
+// HDegrees computes deg^h_{G[alive]}(v) for every vertex in verts, writing
+// results into out (indexed by vertex id). Vertices are distributed
+// dynamically over the pool's workers via an atomic cursor. It returns the
+// number of live sources actually evaluated — dead sources (absent from
+// alive) cost nothing and report 0.
+func (p *Pool) HDegrees(verts []int32, h int, alive *vset.Set, out []int32) int64 {
+	return p.batch(verts, h, alive, out, 0)
+}
+
+// HDegreesCapped is the batched threshold kernel: out[v] = min(deg^h(v),
+// cap) for every v in verts, with each BFS aborting once cap discoveries
+// prove the bound (see Traversal.HDegreeCapped). Returns the number of
+// live sources evaluated.
+func (p *Pool) HDegreesCapped(verts []int32, h int, alive *vset.Set, cap int, out []int32) int64 {
+	if cap <= 0 {
+		for _, v := range verts {
+			out[v] = 0
+		}
+		return 0
+	}
+	return p.batch(verts, h, alive, out, cap)
+}
+
+func (p *Pool) batch(verts []int32, h int, alive *vset.Set, out []int32, cap int) int64 {
+	if len(verts) == 0 {
+		return 0
+	}
+	s := p.s
+	if s.workers == 1 || s.closed || len(verts) < parallelBatchMin {
+		t := s.travs[0]
+		var evaluated int64
+		for _, v := range verts {
+			if alive == nil || alive.Contains(int(v)) {
+				evaluated++
+			}
+			if cap > 0 {
+				out[v] = int32(t.HDegreeCapped(int(v), h, alive, cap))
+			} else {
+				out[v] = int32(t.HDegree(int(v), h, alive))
+			}
+		}
+		return evaluated
+	}
+	p.ensureHelpers()
+	s.verts, s.h, s.alive, s.out, s.cap = verts, h, alive, out, cap
+	s.cursor.Store(0)
+	s.evaluated.Store(0)
+	helpers := s.workers - 1
+	s.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		s.wake <- struct{}{}
+	}
+	s.run(s.travs[0])
+	s.wg.Wait()
+	s.verts, s.alive, s.out = nil, nil, nil
+	return s.evaluated.Load()
+}
+
+// HDegreesAll computes the h-degree of every vertex of the graph (alive
+// mask applied) and returns a fresh slice indexed by vertex id. Dead
+// vertices report 0.
+func (p *Pool) HDegreesAll(h int, alive *vset.Set) []int32 {
+	n := p.s.g.NumVertices()
+	verts := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if alive == nil || alive.Contains(v) {
+			verts = append(verts, int32(v))
+		}
+	}
+	out := make([]int32, n)
+	p.HDegrees(verts, h, alive, out)
+	return out
+}
