@@ -1,12 +1,23 @@
-# Developer entry points. CI runs `make bench-smoke`; the bench target is
-# how BENCH_kernels.json at the repository root is (re)generated.
+# Developer entry points. CI runs `make bench-smoke` plus a full
+# `go test -race ./internal/... .` (which covers the race-parallel subset
+# below); the bench targets are how the BENCH_*.json records at the
+# repository root are (re)generated.
+
+# Recipes pipe `go test -bench` through tee; pipefail keeps a failing
+# benchmark run from silently recording a truncated BENCH_*.json.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
 
 # Benchmarks matched by `make bench` (anchored regexp) and how many times
 # each is repeated for benchstat-quality variance.
 BENCH ?= BenchmarkEngineDecompose$$
 COUNT ?= 6
+# Optional SNAP edge-list for the benchmark graph (empty = the synthetic
+# Barabási–Albert default). Plumbed to the harness via KHCORE_BENCH_DATASET
+# and recorded in the JSON output.
+DATASET ?=
 
-.PHONY: build test race bench bench-smoke
+.PHONY: build test race race-parallel bench bench-parallel bench-smoke
 
 build:
 	go build ./...
@@ -17,18 +28,35 @@ test: build
 race:
 	go test -race ./internal/... .
 
+# race-parallel is the CI smoke of the concurrent h-LB+UB path: the
+# parallel-vs-sequential equivalence property, engine reuse and the
+# multi-worker engine tests under the race detector.
+race-parallel:
+	go test -race -run 'TestParallel|TestEngine' ./internal/core/ .
+
 # bench runs the kernel benchmark suite and records it into
 # BENCH_kernels.json via cmd/benchjson. Drop a baseline run (same format,
 # e.g. produced on the previous commit) at bench_baseline.txt to get a
 # before/after summary with per-benchmark speedups.
 bench:
-	go test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) . | tee bench_current.txt
+	KHCORE_BENCH_DATASET=$(DATASET) go test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) . | tee bench_current.txt
 	@if [ -f bench_baseline.txt ]; then \
-		go run ./cmd/benchjson -o BENCH_kernels.json before=bench_baseline.txt after=bench_current.txt; \
+		go run ./cmd/benchjson -o BENCH_kernels.json -dataset '$(DATASET)' before=bench_baseline.txt after=bench_current.txt; \
 	else \
-		go run ./cmd/benchjson -o BENCH_kernels.json after=bench_current.txt; \
+		go run ./cmd/benchjson -o BENCH_kernels.json -dataset '$(DATASET)' after=bench_current.txt; \
 	fi
 	@echo wrote BENCH_kernels.json
+
+# bench-parallel records the worker-scaling of the concurrent h-LB+UB
+# partition peeling into BENCH_parallel.json: one sub-benchmark per worker
+# count, summarized by cmd/benchjson's scaling section (speedup of every
+# worker count over workers=1).
+bench-parallel:
+	KHCORE_BENCH_DATASET=$(DATASET) go test -run '^$$' -bench 'BenchmarkParallelHLBUB$$' -benchmem -count $(COUNT) . | tee bench_parallel.txt
+	go run ./cmd/benchjson -o BENCH_parallel.json -dataset '$(DATASET)' \
+		-note "BenchmarkParallelHLBUB: one warm engine per worker count, h=2, end-to-end h-LB+UB" \
+		current=bench_parallel.txt
+	@echo wrote BENCH_parallel.json
 
 # bench-smoke compiles and runs every benchmark in the module for exactly
 # one iteration — fast enough for CI, and enough to keep them from rotting.

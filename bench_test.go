@@ -176,7 +176,7 @@ func benchDecompose(b *testing.B, alg khcore.Algorithm, h int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := khcore.Decompose(g, khcore.Options{H: h, Algorithm: alg}); err != nil {
+		if _, err := khcore.Decompose(g, khcore.Options{H: h, Algorithm: alg, AllowBaseline: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,9 +12,16 @@
 //	go test -bench . -benchmem -count 6 . > bench_current.txt
 //	benchjson -o BENCH_kernels.json before=bench_baseline.txt after=bench_current.txt
 //	go test -bench . -benchmem . | benchjson -o BENCH_kernels.json
+//	benchjson -o BENCH_parallel.json -dataset data/snap.txt -note "8 workers" current=run.txt
 //
 // With no label=path arguments, standard input is read as a single run
-// labelled "current".
+// labelled "current". -dataset records which graph the benchmarks ran on
+// (a SNAP edge-list path passed to the harness via KHCORE_BENCH_DATASET,
+// or empty for the synthetic default) and -note attaches free-form
+// provenance lines. Sub-benchmarks named "<family>/workers=N" additionally
+// produce a scaling section: geometric-mean ns/op per worker count and the
+// speedup of every worker count over workers=1, the record behind the
+// README's worker-scaling table.
 package main
 
 import (
@@ -38,6 +45,8 @@ func main() {
 
 func run(args []string, stdin io.Reader) error {
 	out := ""
+	dataset := ""
+	var notes []string
 	var inputs [][2]string // (label, path)
 	for i := 0; i < len(args); i++ {
 		switch {
@@ -47,15 +56,27 @@ func run(args []string, stdin io.Reader) error {
 				return fmt.Errorf("-o needs a path")
 			}
 			out = args[i]
+		case args[i] == "-dataset":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-dataset needs a path or name")
+			}
+			dataset = args[i]
+		case args[i] == "-note":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-note needs a string")
+			}
+			notes = append(notes, args[i])
 		case strings.Contains(args[i], "="):
 			label, path, _ := strings.Cut(args[i], "=")
 			inputs = append(inputs, [2]string{label, path})
 		default:
-			return fmt.Errorf("unrecognized argument %q (want -o out.json or label=bench.txt)", args[i])
+			return fmt.Errorf("unrecognized argument %q (want -o out.json, -dataset path, -note text or label=bench.txt)", args[i])
 		}
 	}
 
-	rec := &Record{Runs: map[string]*Run{}}
+	rec := &Record{Runs: map[string]*Run{}, Dataset: dataset, Notes: notes}
 	if len(inputs) == 0 {
 		r, err := parseRun(stdin)
 		if err != nil {
@@ -76,6 +97,7 @@ func run(args []string, stdin io.Reader) error {
 		rec.absorb(in[0], r)
 	}
 	rec.summarize()
+	rec.summarizeScaling()
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -91,11 +113,18 @@ func run(args []string, stdin io.Reader) error {
 
 // Record is the top-level JSON document.
 type Record struct {
-	Goos    string              `json:"goos,omitempty"`
-	Goarch  string              `json:"goarch,omitempty"`
-	CPU     string              `json:"cpu,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Dataset names the graph the benchmarks ran on: a SNAP edge-list
+	// path, or empty for the synthetic default.
+	Dataset string              `json:"dataset,omitempty"`
+	Notes   []string            `json:"notes,omitempty"`
 	Runs    map[string]*Run     `json:"runs"`
 	Summary map[string]*Summary `json:"summary,omitempty"`
+	// Scaling holds per-family worker-scaling results parsed from
+	// sub-benchmarks named "<family>/workers=N".
+	Scaling map[string]*Scaling `json:"scaling,omitempty"`
 }
 
 // Run is one labelled benchmark invocation: the verbatim benchmark lines
@@ -113,6 +142,72 @@ type Bench struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Scaling is the worker-scaling record of one benchmark family: the
+// geometric-mean ns/op at each worker count and the speedup of every
+// worker count over the single-worker run.
+type Scaling struct {
+	NsPerOpByWorkers map[string]float64 `json:"ns_per_op_by_workers"`
+	SpeedupByWorkers map[string]float64 `json:"speedup_by_workers,omitempty"`
+}
+
+// summarizeScaling fills the Scaling section from sub-benchmarks named
+// "<family>/workers=N" in one run — "after" when present, else "current",
+// else a sole labelled run (repeated -count measurements geomean per the
+// usual rule). Mixing labelled runs would silently blend a baseline into
+// the speedups, so multiple runs without a canonical label produce no
+// scaling section.
+func (rec *Record) summarizeScaling() {
+	run := rec.Runs["after"]
+	if run == nil {
+		run = rec.Runs["current"]
+	}
+	if run == nil && len(rec.Runs) == 1 {
+		for _, r := range rec.Runs {
+			run = r
+		}
+	}
+	if run == nil {
+		return
+	}
+	type key struct {
+		family  string
+		workers string
+	}
+	sums := map[key]float64{}
+	counts := map[key]int{}
+	for _, b := range run.Benchmarks {
+		family, tail, ok := strings.Cut(b.Name, "/workers=")
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		k := key{family, tail}
+		sums[k] += math.Log(b.NsPerOp)
+		counts[k]++
+	}
+	if len(sums) == 0 {
+		return
+	}
+	rec.Scaling = map[string]*Scaling{}
+	for k, s := range sums {
+		sc := rec.Scaling[k.family]
+		if sc == nil {
+			sc = &Scaling{NsPerOpByWorkers: map[string]float64{}}
+			rec.Scaling[k.family] = sc
+		}
+		sc.NsPerOpByWorkers[k.workers] = round2(math.Exp(s / float64(counts[k])))
+	}
+	for _, sc := range rec.Scaling {
+		base, ok := sc.NsPerOpByWorkers["1"]
+		if !ok || base <= 0 {
+			continue
+		}
+		sc.SpeedupByWorkers = map[string]float64{}
+		for w, ns := range sc.NsPerOpByWorkers {
+			sc.SpeedupByWorkers[w] = round2(base / ns)
+		}
+	}
 }
 
 // Summary compares the geometric-mean ns/op of one benchmark between the

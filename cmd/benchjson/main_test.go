@@ -109,3 +109,51 @@ func TestStdinSingleRun(t *testing.T) {
 		t.Fatalf("stdin run should land under \"current\" with no summary: %+v", rec)
 	}
 }
+
+const sampleScaling = `goos: linux
+BenchmarkParallelHLBUB/workers=1-8   10   8000000 ns/op   0 B/op   0 allocs/op
+BenchmarkParallelHLBUB/workers=1-8   10   2000000 ns/op   0 B/op   0 allocs/op
+BenchmarkParallelHLBUB/workers=8-8   10   2000000 ns/op   0 B/op   0 allocs/op
+BenchmarkParallelHLBUB/workers=8-8   10    500000 ns/op   0 B/op   0 allocs/op
+`
+
+// Geometric means: workers=1 → √(8e6·2e6) = 4e6, workers=8 → 1e6 → 4× speedup.
+const sampleScalingBaseline = `goos: linux
+BenchmarkParallelHLBUB/workers=1-8   10   8000000 ns/op   0 B/op   0 allocs/op
+BenchmarkParallelHLBUB/workers=8-8   10   8000000 ns/op   0 B/op   0 allocs/op
+`
+
+// TestScalingSection checks the workers=N parsing, the dataset/notes
+// metadata, and that the scaling geomeans come from ONE run — a labelled
+// baseline containing the same sub-benchmarks must not blend in.
+func TestScalingSection(t *testing.T) {
+	dir := t.TempDir()
+	before := filepath.Join(dir, "before.txt")
+	after := filepath.Join(dir, "after.txt")
+	out := filepath.Join(dir, "bench.json")
+	os.WriteFile(before, []byte(sampleScalingBaseline), 0o644)
+	os.WriteFile(after, []byte(sampleScaling), 0o644)
+	err := run([]string{"-o", out, "-dataset", "snap.txt", "-note", "host note",
+		"before=" + before, "after=" + after}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	data, _ := os.ReadFile(out)
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Dataset != "snap.txt" || len(rec.Notes) != 1 {
+		t.Fatalf("metadata not recorded: dataset=%q notes=%v", rec.Dataset, rec.Notes)
+	}
+	sc := rec.Scaling["ParallelHLBUB"]
+	if sc == nil {
+		t.Fatalf("no scaling section: %+v", rec.Scaling)
+	}
+	if got := sc.NsPerOpByWorkers["1"]; got != 4000000 {
+		t.Fatalf("workers=1 geomean = %v, want 4e6 (after run only — baseline must not blend)", got)
+	}
+	if got := sc.SpeedupByWorkers["8"]; got != 4 {
+		t.Fatalf("workers=8 speedup = %v, want 4", got)
+	}
+}

@@ -8,6 +8,7 @@
 //	khexp table3                     # one experiment at default scale
 //	khexp -max-vertices 600 all      # everything, subsampled for speed
 //	khexp -workers 4 -cpuprofile cpu.prof table3   # profile the kernels
+//	khexp -dataset path/to/snap.txt table3         # a real SNAP edge list
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		maxVertices = flag.Int("max-vertices", 0, "snowball-subsample datasets above this size (0 = full registry size)")
 		maxH        = flag.Int("max-h", 0, "cap the largest h (0 = experiment default)")
 		datasets    = flag.String("datasets", "", "comma-separated dataset override")
+		dataset     = flag.String("dataset", "", "path to a SNAP edge-list file to run the experiments on (instead of the synthetic registry)")
 		pairs       = flag.Int("pairs", 500, "query pairs for the landmark experiment")
 		ell         = flag.Int("ell", 20, "number of landmarks")
 		reps        = flag.Int("reps", 3, "repetitions for stochastic experiments")
@@ -58,8 +60,17 @@ func main() {
 		HClubTimeout:  *clubTimeout,
 		Seed:          *seed,
 	}
+	if *datasets != "" && *dataset != "" {
+		fmt.Fprintln(os.Stderr, "khexp: -dataset and -datasets are mutually exclusive (a -dataset file path replaces the whole dataset list)")
+		os.Exit(2)
+	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *dataset != "" {
+		// A file path is a dataset override of one: internal/datasets
+		// resolves path-shaped names through its SNAP reader.
+		cfg.Datasets = []string{*dataset}
 	}
 
 	if *cpuprofile != "" {

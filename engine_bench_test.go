@@ -7,12 +7,25 @@ package khcore_test
 // parallel pool (which pays only the per-batch goroutine spawns).
 
 import (
+	"fmt"
+	"os"
 	"testing"
 
 	khcore "repro"
 )
 
+// benchGraph returns the benchmark graph: the synthetic Barabási–Albert
+// default, or a real SNAP edge list when KHCORE_BENCH_DATASET names one
+// (`make bench DATASET=path/to/snap.txt` plumbs the variable through), so
+// the recorded numbers can track realistic degree skew.
 func benchGraph() *khcore.Graph {
+	if path := os.Getenv("KHCORE_BENCH_DATASET"); path != "" {
+		g, err := khcore.LoadDataset(path)
+		if err != nil {
+			panic(fmt.Sprintf("KHCORE_BENCH_DATASET: %v", err))
+		}
+		return g
+	}
 	return khcore.BarabasiAlbert(2000, 4, 97)
 }
 
@@ -53,7 +66,7 @@ func BenchmarkEngineDecompose(b *testing.B) {
 	for _, alg := range []khcore.Algorithm{khcore.HBZ, khcore.HLB, khcore.HLBUB} {
 		b.Run(alg.String(), func(b *testing.B) {
 			eng := khcore.NewEngine(g, 1)
-			opts := khcore.Options{H: 2, Algorithm: alg, Workers: 1}
+			opts := khcore.Options{H: 2, Algorithm: alg, Workers: 1, AllowBaseline: true}
 			var res khcore.Result
 			if err := eng.DecomposeInto(&res, opts); err != nil {
 				b.Fatal(err)
@@ -73,6 +86,33 @@ func BenchmarkEngineDecomposeRepeated(b *testing.B) { benchmarkEngineRepeated(b,
 func BenchmarkDecomposeFresh(b *testing.B)          { benchmarkFresh(b, 1) }
 func BenchmarkEngineDecomposeParallel(b *testing.B) { benchmarkEngineRepeated(b, 0) }
 func BenchmarkDecomposeFreshParallel(b *testing.B)  { benchmarkFresh(b, 0) }
+
+// BenchmarkParallelHLBUB is the worker-scaling benchmark behind
+// BENCH_parallel.json and the README scaling table: one warm engine per
+// worker count, h = 2, h-LB+UB end to end (bounds, Algorithm 5 and the
+// concurrent interval peeling). workers=1 takes the serial carry path;
+// higher counts drain the interval work queue with per-worker solvers.
+func BenchmarkParallelHLBUB(b *testing.B) {
+	g := benchGraph()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := khcore.NewEngine(g, workers)
+			defer eng.Close()
+			opts := khcore.Options{H: 2, Algorithm: khcore.HLBUB}
+			var res khcore.Result
+			if err := eng.DecomposeInto(&res, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.DecomposeInto(&res, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkEngineSpectrum measures the cross-level seeding path: all
 // h = 1..3 levels through one scratch arena.

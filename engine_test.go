@@ -33,7 +33,7 @@ func TestEngineMatchesDecompose(t *testing.T) {
 		eng := khcore.NewEngine(g, 2)
 		for _, algo := range algorithms {
 			for h := 1; h <= 3; h++ {
-				opts := khcore.Options{H: h, Algorithm: algo, Workers: 2}
+				opts := khcore.Options{H: h, Algorithm: algo, Workers: 2, AllowBaseline: true}
 				want, err := khcore.Decompose(g, opts)
 				if err != nil {
 					t.Fatalf("%s/%v/h=%d: Decompose: %v", name, algo, h, err)
@@ -153,7 +153,7 @@ func TestEngineSpectrumMatchesOneShot(t *testing.T) {
 func TestEngineSteadyStateAllocs(t *testing.T) {
 	g := khcore.BarabasiAlbert(400, 3, 41)
 	for _, algo := range []khcore.Algorithm{khcore.HBZ, khcore.HLB, khcore.HLBUB} {
-		opts := khcore.Options{H: 2, Algorithm: algo, Workers: 1}
+		opts := khcore.Options{H: 2, Algorithm: algo, Workers: 1, AllowBaseline: true}
 		eng := khcore.NewEngine(g, 1)
 		var res khcore.Result
 		if err := eng.DecomposeInto(&res, opts); err != nil { // warm-up sizes all scratch

@@ -33,7 +33,7 @@ func main() {
 
 	// The three algorithms agree; they differ in how much work they do.
 	for _, alg := range []khcore.Algorithm{khcore.HBZ, khcore.HLB, khcore.HLBUB} {
-		r, err := khcore.Decompose(g, khcore.Options{H: 2, Algorithm: alg})
+		r, err := khcore.Decompose(g, khcore.Options{H: 2, Algorithm: alg, AllowBaseline: true})
 		if err != nil {
 			log.Fatal(err)
 		}

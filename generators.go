@@ -50,5 +50,8 @@ func PaperGraph() *Graph { return datasets.PaperGraph() }
 // Table 1 datasets.
 func DatasetNames() []string { return datasets.Names() }
 
-// LoadDataset builds a named synthetic dataset analog.
+// LoadDataset builds a named synthetic dataset analog. A name containing
+// a path separator (or naming an existing file) is read as a SNAP
+// edge-list instead, so real downloaded graphs slot into every tool that
+// takes a dataset name.
 func LoadDataset(name string) (*Graph, error) { return datasets.Load(name) }

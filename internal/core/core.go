@@ -6,15 +6,20 @@
 // reference implementation and an independent result verifier.
 //
 // All three algorithms run inside an Engine — a long-lived decomposition
-// context bound to a graph that owns every piece of reusable scratch (the
-// h-BFS worker pool, the packed alive/assigned/lower-bound vertex sets,
-// the bucket queue, the degree and bound arrays). Repeated decompositions
-// through one Engine allocate almost nothing; the package-level Decompose
-// is a thin wrapper that builds a throwaway Engine for one-shot callers.
+// context bound to a graph. The mutable peeling state (alive/settled
+// vertex sets, h-degree and bound arrays, bucket queue, traversal scratch)
+// lives in per-worker partitionSolver arenas owned by the Engine: solver 0
+// serves the sequential algorithms, and the h-LB+UB partitions — which are
+// independent by construction (Observation 3) — are resolved concurrently
+// by one solver per pool worker when the engine has more than one.
+// Repeated decompositions through one Engine allocate nothing in the
+// steady state; the package-level Decompose is a thin wrapper that builds
+// a throwaway Engine for one-shot callers.
 package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -26,16 +31,21 @@ import (
 type Algorithm int
 
 const (
-	// HBZ is the distance-generalized Batagelj–Zaveršnik baseline
-	// (Algorithm 1): every removal re-computes the h-degree of the whole
-	// h-neighborhood.
-	HBZ Algorithm = iota
+	// HLBUB computes the LB2 lower and power-graph upper bounds and splits
+	// the work into independent top-down partitions (Algorithms 4–6). It
+	// is the paper's fastest variant, the only one whose peeling
+	// parallelizes across partitions, and the default (zero value).
+	HLBUB Algorithm = iota
 	// HLB seeds the peeling with the LB2 lower bound so h-degrees are
 	// computed lazily (Algorithms 2–3).
 	HLB
-	// HLBUB additionally computes the power-graph upper bound and splits
-	// the work into independent top-down partitions (Algorithms 4–6).
-	HLBUB
+	// HBZ is the distance-generalized Batagelj–Zaveršnik baseline
+	// (Algorithm 1): every removal re-computes the h-degree of the whole
+	// h-neighborhood. It is ~45× slower than HLBUB on the benchmark graph
+	// and exists for the paper's ablations only, so running it requires
+	// Options.AllowBaseline — nothing on a serving path should reach it by
+	// accident.
+	HBZ
 )
 
 // String names the algorithm as in the paper.
@@ -75,23 +85,49 @@ const (
 	HDegreeUB
 )
 
+// defaultLazyCapSlack is the default headroom the lazy re-computation in
+// coreDecomp adds above the frontier before truncating an h-degree count:
+// a vertex popped at level k is counted up to k+1+slack. Zero maximizes
+// laziness but re-pops a capped vertex at every level; a little slack lets
+// vertices whose h-degree sits just above the frontier come out exact, so
+// they ride the O(1) decrement path instead of paying another truncated
+// BFS. Tunable per run via Options.LazyCapSlack.
+const defaultLazyCapSlack = 16
+
 // Options configures Decompose.
 type Options struct {
 	// H is the distance threshold (h ≥ 1). h = 1 reproduces the classic
 	// core decomposition.
 	H int
-	// Algorithm selects HBZ, HLB or HLBUB (default HBZ, the zero value).
+	// Algorithm selects HLBUB (default, the zero value), HLB or HBZ.
 	Algorithm Algorithm
-	// Workers is the h-BFS worker-pool size; ≤ 0 selects NumCPU. An
-	// Engine fixes its pool size at construction, so this field only
-	// matters for the one-shot Decompose wrapper.
+	// AllowBaseline must be set to run the HBZ baseline: it exists for the
+	// paper's ablations and is ~45× slower than HLBUB, so selecting it
+	// without this flag is an error rather than a silent performance cliff.
+	AllowBaseline bool
+	// Workers sizes the h-BFS worker pool AND the number of concurrent
+	// h-LB+UB partition solvers; ≤ 0 selects NumCPU. An Engine fixes its
+	// pool size at construction, so this field only matters for the
+	// one-shot Decompose wrapper.
 	Workers int
 	// PartitionSize is the S parameter of Algorithm 4: how many distinct
 	// upper-bound values each top-down partition spans. Each partition
 	// pays one ImproveLB pass over its vertex set, so more partitions
-	// cost more up-front work; ≤ 0 selects an adaptive width that yields
-	// about eight partitions.
+	// cost more up-front work; ≤ 0 selects an adaptive split that balances
+	// the estimated work per partition from the upper-bound histogram
+	// (which is what makes the parallel partition peeling load-balance).
 	PartitionSize int
+	// LazyCapSlack is the headroom above the peeling frontier before a
+	// lazy h-degree count truncates (see defaultLazyCapSlack). 0 selects
+	// the default (16); a negative value selects zero slack.
+	LazyCapSlack int
+	// BatchMin is the batch size below which the h-BFS pool runs a batch
+	// on the publishing worker instead of waking the helpers; ≤ 0 selects
+	// the default (hbfs.DefaultBatchMin).
+	BatchMin int
+	// BatchChunk is the number of vertices a pool worker claims per atomic
+	// cursor bump; ≤ 0 selects the default (hbfs.DefaultBatchChunk).
+	BatchChunk int
 	// LowerBound and UpperBound select ablation variants (Table 5).
 	LowerBound LowerBoundKind
 	UpperBound UpperBoundKind
@@ -102,9 +138,21 @@ func (o Options) withDefaults() Options {
 		o.H = 2
 	}
 	if o.PartitionSize < 0 {
-		o.PartitionSize = 0 // adaptive, resolved against |U| in Algorithm 4
+		o.PartitionSize = 0 // adaptive, resolved against the UB histogram in Algorithm 4
 	}
 	return o
+}
+
+// slackValue resolves the LazyCapSlack encoding (0 = default, < 0 = none).
+func (o Options) slackValue() int {
+	switch {
+	case o.LazyCapSlack == 0:
+		return defaultLazyCapSlack
+	case o.LazyCapSlack < 0:
+		return 0
+	default:
+		return o.LazyCapSlack
+	}
 }
 
 // Stats records the work performed by a decomposition, mirroring the
@@ -123,6 +171,16 @@ type Stats struct {
 	Partitions int
 	// Duration is the wall-clock decomposition time.
 	Duration time.Duration
+}
+
+// absorb folds a solver's work counters into the aggregate and zeroes the
+// source, so per-solver stats never double-count across runs.
+func (st *Stats) absorb(o *Stats) {
+	st.Visits += o.Visits
+	st.HDegreeComputations += o.HDegreeComputations
+	st.Decrements += o.Decrements
+	st.Partitions += o.Partitions
+	*o = Stats{}
 }
 
 // Result is a completed (k,h)-core decomposition.
@@ -206,58 +264,55 @@ func Decompose(g *graph.Graph, opts Options) (*Result, error) {
 	return NewEngine(g, opts.Workers).Decompose(opts)
 }
 
+// interval is one top-down partition of Algorithm 4: core-index range
+// [kmin, kmax], resolved on the subgraph induced by {v : UB(v) ≥ kmin}.
+type interval struct {
+	kmin, kmax int
+}
+
 // Engine is a long-lived decomposition context bound to one graph. It owns
-// every piece of mutable state the peeling algorithms need — the h-BFS
-// traversal pool, the packed alive/assigned/lazy-bound vertex sets, the
-// bucket queue, the degree, bound and neighborhood scratch arrays — and
+// the h-BFS worker pool, the shared bound arrays, and one partitionSolver
+// arena per pool worker — solver 0 doubles as the sequential scratch — and
 // reuses all of it across runs, so repeated Decompose calls reach a
-// near-zero steady-state allocation rate (exactly zero through
-// DecomposeInto with a single worker). An Engine is NOT safe for
-// concurrent use; create one per goroutine.
+// zero steady-state allocation rate through DecomposeInto, including on
+// the parallel h-LB+UB path. An Engine is NOT safe for concurrent use;
+// create one per goroutine.
 type Engine struct {
 	g    *graph.Graph
 	pool *hbfs.Pool
-
-	// alive marks vertices present in the current (sub)graph.
-	alive *vset.Set
-	// assigned marks vertices whose core index is final.
-	assigned *vset.Set
-	// setLB mirrors the paper's flag: membership means only a lower bound
-	// for the vertex is known (or the vertex is settled) and its h-degree
-	// must not be touched by neighbor updates.
-	setLB *vset.Set
-	// dirty and inQueue serve the ImproveLB cleaning cascade.
-	dirty   *vset.Set
-	inQueue *vset.Set
-	// capped marks vertices whose deg entry is a truncated (early-exited)
-	// h-degree: a lower bound on the true value. Capped entries are still
-	// decrement-tracked — a decrement keeps a lower bound a lower bound —
-	// and are re-counted (with a fresh cap) when the peeling frontier pops
-	// them, settling only on an exact count. See coreDecomp.
-	capped *vset.Set
+	// sv holds the per-worker solver arenas. sv[0] always exists and
+	// serves the sequential algorithms; the rest are created on the first
+	// parallel h-LB+UB run and then persist.
+	sv []*partitionSolver
 
 	core []int32
-	// deg is the current h-degree of a vertex w.r.t. the alive set; it is
-	// meaningful only while the vertex is outside setLB.
-	deg []int32
-	q   *bucketQueue
 
 	// Scratch buffers, reused across runs.
-	rebuf   []int32 // batched h-degree recomputations after a removal
-	verts   []int32 // whole-vertex-set id list
-	part    []int32 // current partition's members (HLBUB)
-	cascade []int32 // ImproveLB eviction stack
-	dips    []int32 // ImproveLB eviction candidates awaiting re-verification
-	lbA     []int32 // lower-bound propagation double buffer
-	lbB     []int32
-	lb3     []int32
-	degH    []int32
-	ub      []int32
-	ubdeg   []int32
-	ubvals  []int32 // distinct upper-bound values, descending
+	verts     []int32 // whole-vertex-set id list
+	lbA       []int32 // lower-bound propagation double buffer
+	lbB       []int32
+	degH      []int32
+	ub        []int32
+	ubdeg     []int32
+	ubvals    []int32 // distinct upper-bound values, descending
+	ubcnt     []int32 // upper-bound histogram (vertices per distinct value)
+	intervals []interval
+
+	// Parallel interval dispatch: parJob is bound once at construction
+	// (keeping repeat runs allocation-free) and reads the fields below,
+	// which are set for the duration of one Pool.Run fan-out.
+	parJob func(worker int, t *hbfs.Traversal)
+	parUB  []int32
+	parLB2 []int32
+	// parSolvers is the bound fleet size for the current fan-out:
+	// min(pool workers, interval count) — arenas beyond it are never
+	// created and workers beyond it no-op.
+	parSolvers int
+	cursor     atomic.Int64
 
 	// Per-run state.
 	h     int
+	slack int
 	opts  Options
 	stats Stats
 	// seedLB optionally supplies an extra per-vertex lower bound on the
@@ -271,16 +326,32 @@ type Engine struct {
 }
 
 // NewEngine returns an Engine bound to g with a worker pool of the given
-// size (≤ 0 selects NumCPU).
+// size (≤ 0 selects NumCPU). The pool size also caps the number of
+// concurrent h-LB+UB partition solvers.
 func NewEngine(g *graph.Graph, workers int) *Engine {
 	e := &Engine{
-		pool:     hbfs.NewPool(g, workers),
-		alive:    vset.New(0),
-		assigned: vset.New(0),
-		setLB:    vset.New(0),
-		dirty:    vset.New(0),
-		inQueue:  vset.New(0),
-		capped:   vset.New(0),
+		pool: hbfs.NewPool(g, workers),
+		sv:   []*partitionSolver{newPartitionSolver()},
+	}
+	e.parJob = func(worker int, t *hbfs.Traversal) {
+		if worker >= e.parSolvers {
+			return // more pool workers than intervals: nothing to claim
+		}
+		s := e.sv[worker]
+		s.t = t
+		n := len(e.intervals)
+		for {
+			i := int(e.cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			// Claim intervals bottom-up: the lowest intervals induce the
+			// widest subgraphs and dominate the makespan, so they must
+			// start first.
+			iv := e.intervals[n-1-i]
+			s.stats.Partitions++
+			s.solveInterval(iv.kmin, iv.kmax, e.parUB, e.parLB2)
+		}
 	}
 	e.Reset(g)
 	return e
@@ -300,25 +371,15 @@ func (e *Engine) Workers() int { return e.pool.Workers() }
 
 // Reset re-binds the engine to g (which may differ in size from the
 // previous graph), reusing every piece of scratch whose capacity suffices.
-// The Maintainer calls this after each edge update.
+// The Maintainer calls this after each edge update. Solver arenas are
+// re-bound lazily at the start of the next run.
 func (e *Engine) Reset(g *graph.Graph) {
 	e.g = g
-	n := g.NumVertices()
 	e.pool.Reset(g)
-	e.alive.Resize(n)
-	e.assigned.Resize(n)
-	e.setLB.Resize(n)
-	e.dirty.Resize(n)
-	e.inQueue.Resize(n)
-	e.capped.Resize(n)
-	e.core = growInt32(e.core, n)
-	e.deg = growInt32(e.deg, n)
-	// The bound arrays (lbA/lbB/lb3/degH/ub/ubdeg) are algorithm-specific
-	// and sized lazily at first use, so a throwaway engine running HBZ
-	// never pays for HLBUB's scratch.
-	if e.q == nil || e.q.n < n {
-		e.q = newBucketQueue(n)
-	}
+	e.core = growInt32(e.core, g.NumVertices())
+	// The bound arrays (lbA/lbB/degH/ub/ubdeg) are algorithm-specific and
+	// sized lazily at first use, so an engine that never runs HLBUB never
+	// pays for its scratch.
 }
 
 // growInt32 returns s resized to length n, reusing capacity when possible.
@@ -353,6 +414,10 @@ func (e *Engine) DecomposeInto(res *Result, opts Options) error {
 	default:
 		return fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
 	}
+	if opts.Algorithm == HBZ && !opts.AllowBaseline {
+		return fmt.Errorf("core: h-BZ is the paper's baseline and ~45× slower than h-LB+UB; " +
+			"it is gated off the serving path — set Options.AllowBaseline to run it deliberately")
+	}
 	start := time.Now()
 	e.beginRun(opts)
 	switch opts.Algorithm {
@@ -362,6 +427,9 @@ func (e *Engine) DecomposeInto(res *Result, opts Options) error {
 		e.runHLB()
 	case HLBUB:
 		e.runHLBUB()
+	}
+	for _, s := range e.sv {
+		e.stats.absorb(&s.stats)
 	}
 	n := e.g.NumVertices()
 	if cap(res.Core) < n {
@@ -379,21 +447,23 @@ func (e *Engine) DecomposeInto(res *Result, opts Options) error {
 	return nil
 }
 
-// beginRun resets the per-run state: full alive set, cleared flags and
-// queue, zeroed core indices and counters.
+// beginRun resets the per-run state: the sequential solver arena with a
+// full alive set, zeroed core indices and counters, and the run's pool
+// tuning.
 func (e *Engine) beginRun(opts Options) {
 	e.h = opts.H
 	e.opts = opts
+	e.slack = opts.slackValue()
 	e.stats = Stats{}
+	e.pool.SetTuning(opts.BatchMin, opts.BatchChunk)
 	e.pool.ResetVisits()
-	e.alive.Fill()
-	e.assigned.Clear()
-	e.setLB.Clear()
-	e.capped.Clear()
+	s0 := e.sv[0]
+	s0.bind(e.g, e.core, e.h, e.slack, e.pool)
+	s0.stats = Stats{}
+	s0.alive.Fill()
 	for i := range e.core {
 		e.core[i] = 0
 	}
-	e.q.Clear()
 }
 
 func (e *Engine) clearSeeds() {
@@ -402,6 +472,10 @@ func (e *Engine) clearSeeds() {
 
 // trav returns the sequential scratch traversal (worker 0 of the pool).
 func (e *Engine) trav() *hbfs.Traversal { return e.pool.Traversal(0) }
+
+// alive0 returns the sequential solver's alive set — the engine-level mask
+// the batch phases run against.
+func (e *Engine) alive0() *vset.Set { return e.sv[0].alive }
 
 // allVerts fills and returns the whole-vertex-set scratch list 0..n-1.
 func (e *Engine) allVerts() []int32 {

@@ -98,7 +98,7 @@ func TestAlgorithmsAgreeWithNaive(t *testing.T) {
 		for h := 1; h <= 5; h++ {
 			want := NaiveDecompose(g, h)
 			for _, alg := range []Algorithm{HBZ, HLB, HLBUB} {
-				res, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 1})
+				res, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 1, AllowBaseline: true})
 				if err != nil {
 					t.Fatalf("%s h=%d %v: %v", name, h, alg, err)
 				}
@@ -125,21 +125,35 @@ func TestHLBUBPartitionSizes(t *testing.T) {
 }
 
 // TestParallelWorkersMatchSequential checks that worker count never changes
-// the result (or the visit accounting, which must be deterministic).
+// the result, and that the work accounting stays deterministic. For h-BZ
+// and h-LB the peeling is identical under any worker count, so the visit
+// counts must match exactly; parallel h-LB+UB runs a different (interval-
+// independent) schedule than the serial carry path, so its visits are
+// compared between two parallel runs instead — the per-interval work is
+// deterministic regardless of which solver claims which interval.
 func TestParallelWorkersMatchSequential(t *testing.T) {
+	forceParallel(t)
 	g := gen.BarabasiAlbert(150, 3, 99)
 	for h := 2; h <= 3; h++ {
 		for _, alg := range []Algorithm{HBZ, HLB, HLBUB} {
-			seq, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 1})
+			seq, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 1, AllowBaseline: true})
 			if err != nil {
 				t.Fatal(err)
 			}
-			par, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 4})
+			par, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 4, AllowBaseline: true})
 			if err != nil {
 				t.Fatal(err)
 			}
 			equalCores(t, fmt.Sprintf("h=%d %v parallel", h, alg), par, seq.Core)
-			if par.Stats.Visits != seq.Stats.Visits {
+			par2, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 4, AllowBaseline: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par2.Stats.Visits != par.Stats.Visits {
+				t.Errorf("h=%d %v: parallel visits nondeterministic: %d vs %d",
+					h, alg, par.Stats.Visits, par2.Stats.Visits)
+			}
+			if alg != HLBUB && par.Stats.Visits != seq.Stats.Visits {
 				t.Errorf("h=%d %v: visits differ: seq=%d par=%d", h, alg, seq.Stats.Visits, par.Stats.Visits)
 			}
 		}
@@ -152,7 +166,7 @@ func TestHEquals1MatchesClassic(t *testing.T) {
 	for name, g := range testCorpus() {
 		want := classic.Core(g)
 		for _, alg := range []Algorithm{HBZ, HLB, HLBUB} {
-			res, err := Decompose(g, Options{H: 1, Algorithm: alg, Workers: 1})
+			res, err := Decompose(g, Options{H: 1, Algorithm: alg, Workers: 1, AllowBaseline: true})
 			if err != nil {
 				t.Fatalf("%s %v: %v", name, alg, err)
 			}
@@ -284,7 +298,7 @@ func TestStatsAccounting(t *testing.T) {
 	h := 2
 	res := map[Algorithm]*Result{}
 	for _, alg := range []Algorithm{HBZ, HLB, HLBUB} {
-		r, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 1})
+		r, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 1, AllowBaseline: true})
 		if err != nil {
 			t.Fatal(err)
 		}

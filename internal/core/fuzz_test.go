@@ -21,7 +21,7 @@ func FuzzDecompose(f *testing.F) {
 		g := b.Build()
 		var ref []int
 		for _, alg := range []Algorithm{HBZ, HLB, HLBUB} {
-			res, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 1})
+			res, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 1, AllowBaseline: true})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -3,23 +3,26 @@ package core
 // runHBZ implements Algorithm 1 (h-BZ): the distance-generalized
 // Batagelj–Zaveršnik peeling. Vertices are bucketed by h-degree and
 // processed in increasing order; every removal re-computes the h-degree of
-// every vertex in the removed vertex's h-neighborhood.
+// every vertex in the removed vertex's h-neighborhood. The run peels
+// inside the sequential solver arena (solver 0), with the batch
+// recomputations fanned out over the engine's worker pool.
 func (e *Engine) runHBZ() {
 	n := e.g.NumVertices()
 	if n == 0 {
 		return
 	}
+	s := e.sv[0]
 	// Lines 1–3: initial h-degrees (parallel count-only sweep, §4.6) and
 	// bucketing.
-	e.stats.HDegreeComputations += e.pool.HDegrees(e.allVerts(), e.h, e.alive, e.deg)
+	e.stats.HDegreeComputations += e.pool.HDegrees(e.allVerts(), e.h, s.alive, s.deg)
 	for v := 0; v < n; v++ {
-		e.q.insert(v, int(e.deg[v]))
+		s.q.insert(v, int(s.deg[v]))
 	}
 
 	// Lines 4–11: peel in increasing h-degree order.
 	k := 0
-	for e.q.Len() > 0 {
-		v, kv := e.q.PopMin(k)
+	for s.q.Len() > 0 {
+		v, kv := s.q.PopMin(k)
 		if v < 0 {
 			break
 		}
@@ -27,30 +30,30 @@ func (e *Engine) runHBZ() {
 			k = kv
 		}
 		e.core[v] = int32(k)
-		e.assigned.Add(v)
+		s.assigned.Add(v)
 
 		// Collect N_{G[V]}(v, h) before deleting v, then delete. The ball
 		// aliases the traversal scratch; it is consumed into rebuf before
 		// the batched recomputation below reuses that scratch.
-		verts, _ := e.trav().Ball(v, e.h, e.alive)
-		e.alive.Remove(v)
+		verts, _ := e.trav().Ball(v, e.h, s.alive)
+		s.alive.Remove(v)
 
 		// Re-compute the h-degree of every h-neighbor (batched over the
 		// worker pool) and re-bucket. Algorithm 1 recomputes exact values
 		// for the whole neighborhood — that is what makes it the baseline.
-		e.rebuf = e.rebuf[:0]
+		s.rebuf = s.rebuf[:0]
 		for _, u := range verts {
-			if e.q.Contains(int(u)) {
-				e.rebuf = append(e.rebuf, u)
+			if s.q.Contains(int(u)) {
+				s.rebuf = append(s.rebuf, u)
 			}
 		}
-		e.stats.HDegreeComputations += e.pool.HDegrees(e.rebuf, e.h, e.alive, e.deg)
-		for _, u := range e.rebuf {
-			nk := int(e.deg[u])
+		e.stats.HDegreeComputations += e.pool.HDegrees(s.rebuf, e.h, s.alive, s.deg)
+		for _, u := range s.rebuf {
+			nk := int(s.deg[u])
 			if nk < k {
 				nk = k
 			}
-			e.q.move(int(u), nk)
+			s.q.move(int(u), nk)
 		}
 	}
 }

@@ -1,17 +1,10 @@
 package core
 
-// lazyCapSlack is the headroom the lazy re-computation in coreDecomp adds
-// above the frontier before truncating the h-degree count: a vertex popped
-// at level k is counted up to k+1+lazyCapSlack. Zero maximizes laziness
-// but re-pops a capped vertex at every level; a little slack lets vertices
-// whose h-degree sits just above the frontier come out exact, so they ride
-// the O(1) decrement path instead of paying another truncated BFS.
-const lazyCapSlack = 16
-
 // runHLB implements Algorithm 2 (h-LB): vertices are seeded into the
 // buckets at their lower bound (LB2, or LB1 under the ablation option) with
 // the setLB flag raised, so the expensive h-degree computation of a vertex
-// is deferred until the peeling frontier actually reaches its bound.
+// is deferred until the peeling frontier actually reaches its bound. The
+// whole run peels inside the sequential solver arena (solver 0).
 func (e *Engine) runHLB() {
 	n := e.g.NumVertices()
 	if n == 0 {
@@ -22,112 +15,10 @@ func (e *Engine) runHLB() {
 		lb = e.lb2Into(lb)
 	}
 	lb = e.mergeSeedLB(lb)
+	s := e.sv[0]
 	for v := 0; v < n; v++ {
-		e.setLB.Add(v)
-		e.q.insert(v, int(lb[v]))
+		s.setLB.Add(v)
+		s.q.insert(v, int(lb[v]))
 	}
-	e.coreDecomp(0, n)
-}
-
-// coreDecomp is Algorithm 3: peel buckets kmin-1 .. kmax, assigning core
-// indices in [kmin, kmax]. Vertices popped with the setLB or capped flag
-// raised get their h-degree counted lazily — truncated at k+1+lazyCapSlack,
-// since a count that reaches the cap already proves the vertex lies above
-// the frontier — and are re-bucketed; vertices popped with a known exact
-// h-degree are settled at the current level and removed, updating only
-// neighbors whose h-degree is being tracked (setLB false) — with the O(1)
-// decrement shortcut for neighbors at distance exactly h.
-//
-// Soundness of the truncated counts: a capped deg entry is a lower bound
-// on the true h-degree, and decrements preserve that, so a vertex's bucket
-// key ≥ k implies either a sound core lower bound ≥ k (setLB) or a true
-// h-degree ≥ min(key, deg entry) — the frontier never advances past a
-// vertex whose true h-degree it should have caught, and a vertex is only
-// ever settled after an exact (un-truncated) count at the frontier.
-//
-// Deviation from the paper's pseudocode (documented in DESIGN.md): lazy
-// re-bucketing inserts at max(deg, k), not deg, because the recomputed
-// h-degree can fall below the current level when same-core neighbors were
-// peeled first; inserting below the frontier would orphan the vertex.
-func (e *Engine) coreDecomp(kmin, kmax int) {
-	start := kmin - 1
-	if start < 0 {
-		start = 0
-	}
-	if kmax > e.q.MaxKey() {
-		kmax = e.q.MaxKey()
-	}
-	t := e.trav()
-	for k := start; k <= kmax; k++ {
-		for {
-			v := e.q.PopFrom(k)
-			if v < 0 {
-				break
-			}
-			if e.setLB.Contains(v) || e.capped.Contains(v) {
-				// Lazily count the h-degree w.r.t. the alive set, but only
-				// far enough to place v relative to the frontier.
-				cap := k + 1 + lazyCapSlack
-				d := t.HDegreeCapped(v, e.h, e.alive, cap)
-				e.stats.HDegreeComputations++
-				e.deg[v] = int32(d)
-				e.setLB.Remove(v)
-				if d >= cap {
-					e.capped.Add(v)
-				} else {
-					e.capped.Remove(v)
-				}
-				if d < k {
-					d = k
-				}
-				e.q.insert(v, d)
-				continue
-			}
-			// Settle v at level k.
-			if k >= kmin {
-				e.core[v] = int32(k)
-				e.assigned.Add(v)
-			}
-			e.setLB.Add(v)
-			e.removeAndUpdate(v, k)
-		}
-	}
-}
-
-// removeAndUpdate deletes v from the alive set and refreshes the h-degrees
-// of its h-neighborhood in O(1) per neighbor: neighbors on the distance-h
-// shell lose exactly one h-neighbor (v itself) and are decremented, while
-// neighbors in the interior (distance < h) — whose loss cannot be told
-// without a recount — are "parked": moved to the current frontier bucket
-// with the capped flag raised, so the peeling loop re-counts them lazily
-// when it pops them. Re-parking an already-parked vertex is free, and a
-// recount costs at most cap discoveries, so what used to be one full
-// batched recount per removal becomes at most one truncated recount per
-// park. A parked vertex sits at the frontier, so it is always re-counted
-// before the frontier can advance past it — the key-soundness invariant
-// of coreDecomp is untouched.
-// Neighbors with setLB raised (lower bound only, or already settled) are
-// skipped entirely — that is the saving h-LB and h-LB+UB are built on.
-func (e *Engine) removeAndUpdate(v, k int) {
-	verts, shellStart := e.trav().Ball(v, e.h, e.alive)
-	e.alive.Remove(v)
-	for i, u := range verts {
-		ui := int(u)
-		if e.setLB.Contains(ui) || !e.q.Contains(ui) {
-			continue
-		}
-		if i < shellStart {
-			e.deg[u] = int32(k)
-			e.capped.Add(ui)
-			e.q.move(ui, k)
-		} else {
-			e.deg[u]--
-			e.stats.Decrements++
-			nk := int(e.deg[u])
-			if nk < k {
-				nk = k
-			}
-			e.q.move(ui, nk)
-		}
-	}
+	s.coreDecomp(0, n)
 }

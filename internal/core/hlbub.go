@@ -1,16 +1,34 @@
 package core
 
-import "slices"
+import (
+	"runtime"
+	"slices"
+)
+
+// forceParallelIntervals is a test hook: the concurrent interval path is
+// normally gated on GOMAXPROCS > 1 (below), which would leave it untested
+// on single-core CI shards; package tests flip this to exercise the real
+// fan-out regardless.
+var forceParallelIntervals = false
 
 // runHLBUB implements Algorithm 4 (h-LB+UB): compute lower bounds (LB2)
 // and the power-graph upper bound (Algorithm 5), partition the range of
-// core-index values into intervals spanning S distinct upper-bound values,
-// and resolve the intervals top-down. Each interval [kmin, kmax] is solved
-// independently on the subgraph induced by V[kmin] = {v : UB(v) ≥ kmin}
-// (Observation 3), after ImproveLB (Algorithm 6) has raised the lower
-// bounds and evicted vertices that cannot reach h-degree kmin. Vertices
-// settled by a higher interval stay in lower intervals as distance
-// carriers but are never re-processed — the key saving over h-LB.
+// core-index values into top-down intervals, and resolve the intervals.
+// Each interval [kmin, kmax] is solved independently on the subgraph
+// induced by V[kmin] = {v : UB(v) ≥ kmin} (Observation 3), after ImproveLB
+// (Algorithm 6) has raised the lower bounds and evicted vertices that
+// cannot reach h-degree kmin.
+//
+// The independence of the intervals is what the parallel path exploits:
+// with more than one pool worker, the planned intervals become a work
+// queue drained by one partitionSolver per worker, each on its own arena
+// over the shared read-only graph and bound arrays, and every interval
+// writes the core indices it settles directly into the shared output —
+// positions are disjoint because each vertex's core index falls in exactly
+// one interval, so the merged result is deterministic (and bit-identical
+// to the sequential path's, which remains in use for single-worker
+// engines: it carries settled vertices and LB3 raises across intervals,
+// an optimization only a serial schedule can exploit).
 func (e *Engine) runHLBUB() {
 	n := e.g.NumVertices()
 	if n == 0 {
@@ -21,11 +39,8 @@ func (e *Engine) runHLBUB() {
 	// batch reports how many sources it actually evaluated, so the stat
 	// stays honest when an alive mask (or a dead vertex) shrinks the work.
 	e.degH = growInt32(e.degH, n)
-	e.stats.HDegreeComputations += e.pool.HDegrees(e.allVerts(), e.h, e.alive, e.degH)
+	e.stats.HDegreeComputations += e.pool.HDegrees(e.allVerts(), e.h, e.alive0(), e.degH)
 	lb2 := e.mergeSeedLB(e.lb2Into(e.lb1Into()))
-	e.lb3 = growInt32(e.lb3, n)
-	lb3 := e.lb3
-	copy(lb3, lb2)
 
 	// Line 7: upper bounds via implicit power-graph peeling, tightened by
 	// the carried bound when a Maintainer supplies one.
@@ -38,7 +53,43 @@ func (e *Engine) runHLBUB() {
 		}
 	}
 
-	// Lines 8–10: U ← distinct UB values ∪ {min LB2 − 1}, descending.
+	// The concurrent path trades the serial carry savings for parallelism,
+	// so it must only run where parallelism can materialize: with one
+	// schedulable CPU the measured cost is a 20–45% end-to-end regression
+	// (BENCH_parallel.json notes) for zero gain, so a multi-worker engine
+	// on a GOMAXPROCS=1 host falls back to the serial carry path. The
+	// effective solver count also drives the adaptive partition budget —
+	// a serial run must not pay a worker-scaled partition count.
+	solvers := 1
+	if e.pool.Workers() > 1 && (runtime.GOMAXPROCS(0) > 1 || forceParallelIntervals) {
+		solvers = e.pool.Workers()
+	}
+
+	// Lines 8–11: distinct UB values ∪ {min LB2 − 1} descending, split
+	// into covering top-down intervals.
+	e.planIntervals(ub, lb2, solvers)
+
+	if solvers > 1 && len(e.intervals) > 1 {
+		e.runIntervalsParallel(ub, lb2)
+		return
+	}
+	e.runIntervalsSequential(ub, lb2)
+}
+
+// planIntervals computes the descending distinct upper-bound values (with
+// the min(LB2)−1 sentinel) and splits them into the top-down intervals of
+// Algorithm 4, filling e.intervals. A positive Options.PartitionSize keeps
+// the paper's fixed width — S distinct UB values per partition, per the
+// semantics of Example 4. The adaptive default (PartitionSize ≤ 0)
+// balances estimated work instead: it builds the UB histogram and closes
+// an interval once the number of vertices whose upper bound falls inside
+// it reaches an equal share of the remainder — the settle work is what
+// parallel solvers can actually divide, and distinct-value count is a poor
+// proxy for it on skewed graphs where one hub value carries thousands of
+// vertices and a tail value carries one. The target partition count grows
+// with the effective solver count so the work queue stays long enough to
+// balance.
+func (e *Engine) planIntervals(ub, lb2 []int32, solvers int) {
 	minLB2 := lb2[0]
 	for _, b := range lb2[1:] {
 		if b < minLB2 {
@@ -52,87 +103,133 @@ func (e *Engine) runHLBUB() {
 	slices.Reverse(vals)
 	e.ubvals = vals
 
-	// Line 11: top-down covering intervals of S distinct UB values each,
-	// per the semantics of the paper's Example 4. The adaptive default
-	// targets about eight partitions: every partition pays an ImproveLB
-	// pass over V[kmin], so partition count — not width — drives the
-	// overhead (see the ablation benchmarks).
-	step := e.opts.PartitionSize
-	if step <= 0 {
-		step = (len(vals) + 7) / 8
-		if step < 1 {
-			step = 1
+	e.intervals = e.intervals[:0]
+	if step := e.opts.PartitionSize; step > 0 {
+		for j := 0; j < len(vals)-1; {
+			kmax := int(vals[j])
+			jn := j + step
+			if jn > len(vals)-1 {
+				jn = len(vals) - 1
+			}
+			e.intervals = append(e.intervals, interval{kmin: int(vals[jn]) + 1, kmax: kmax})
+			j = jn
 		}
+		return
 	}
-	for j := 0; j < len(vals)-1; {
-		kmax := int(vals[j])
-		jn := j + step
-		if jn > len(vals)-1 {
-			jn = len(vals) - 1
-		}
-		kmin := int(vals[jn]) + 1
-		j = jn
-		e.stats.Partitions++
 
-		// Line 12: V[kmin] = {v : UB(v) ≥ kmin} becomes the alive set.
-		e.part = e.part[:0]
-		e.alive.Clear()
-		for v := 0; v < n; v++ {
-			if int(ub[v]) >= kmin {
-				e.alive.Add(v)
-				e.part = append(e.part, int32(v))
+	// Adaptive: UB histogram → equal vertex mass per interval. Every
+	// vertex's upper bound is ≥ minLB2 > sentinel, so indexing by value is
+	// safe and the sentinel row stays zero.
+	maxVal := int(vals[0])
+	e.ubcnt = growInt32(e.ubcnt, maxVal+1)
+	cnt := e.ubcnt
+	for i := 0; i <= maxVal; i++ {
+		cnt[i] = 0
+	}
+	for _, u := range ub {
+		cnt[u]++
+	}
+	// Twice the solver count keeps the work queue deep enough to balance,
+	// but every partition pays an ImproveLB sweep over the cumulative
+	// V[kmin] — not just its own mass share — so the count is capped:
+	// past ~32 partitions the added bound work grows linearly with core
+	// count while the balancing benefit has long flattened.
+	parts := 2 * solvers
+	if parts < 8 {
+		parts = 8
+	}
+	if parts > 32 {
+		parts = 32
+	}
+	remaining := int64(len(ub))
+	for j := 0; j < len(vals)-1; {
+		share := remaining / int64(parts-len(e.intervals))
+		if share < 1 {
+			share = 1
+		}
+		var acc int64
+		jn := j
+		for jn < len(vals)-1 && (jn == j || acc < share) {
+			acc += int64(cnt[vals[jn]])
+			jn++
+		}
+		// Last interval absorbs a tail too small to stand alone.
+		if len(e.intervals) == parts-1 {
+			for ; jn < len(vals)-1; jn++ {
+				acc += int64(cnt[vals[jn]])
 			}
 		}
-		if len(e.part) == 0 {
+		e.intervals = append(e.intervals, interval{kmin: int(vals[jn]) + 1, kmax: int(vals[j])})
+		remaining -= acc
+		j = jn
+	}
+}
+
+// runIntervalsSequential resolves the planned intervals top-down inside
+// the sequential solver arena, carrying state across intervals the way
+// the paper's serial Algorithm 4 does: vertices settled by a higher
+// interval stay in lower intervals as distance carriers (seeded above the
+// frontier from their final core index) but are never re-processed, and
+// LB3 raises persist — the key savings over h-LB that only a serial
+// schedule can exploit.
+func (e *Engine) runIntervalsSequential(ub, lb2 []int32) {
+	s := e.sv[0]
+	copy(s.lb3, lb2)
+
+	for _, iv := range e.intervals {
+		kmin, kmax := iv.kmin, iv.kmax
+		s.stats.Partitions++
+
+		// Line 12: V[kmin] = {v : UB(v) ≥ kmin} becomes the alive set.
+		if !s.buildPartition(kmin, ub) {
 			continue
 		}
 
 		// Lines 13–14: ImproveLB cleans the partition and raises LB3;
-		// e.dirty marks survivors whose h-degree the cleaning touched, and
-		// e.capped (cleared here — marks from the previous partition are
+		// s.dirty marks survivors whose h-degree the cleaning touched, and
+		// s.capped (cleared here — marks from the previous partition are
 		// stale) the survivors whose h-degree count was truncated.
-		e.capped.Clear()
-		e.improveLB(e.part, kmin, kmax, lb3)
+		s.capped.Clear()
+		s.improveLB(s.part, kmin, kmax)
 
-		// Lines 15–17: seed the bucket queue. Settled vertices sit at
-		// their (final) core index — above kmax, so they are never
-		// popped. Unsettled vertices whose h-degree survived the cleaning
-		// untouched are seeded with that exact degree (saving the lazy
-		// re-computation); cleaning-affected ones fall back to their best
-		// lower bound with the lazy-degree flag raised — or, when
-		// ImproveLB truncated the count, at the capped degree with the
-		// capped flag still up, so the peeling re-counts it on demand.
-		e.q.Clear()
-		for _, v := range e.part {
-			if !e.alive.Contains(int(v)) {
-				continue
-			}
-			switch {
-			case e.assigned.Contains(int(v)):
-				e.setLB.Add(int(v))
-				key := int(e.core[v])
-				if int(lb3[v]) > key {
-					key = int(lb3[v])
-				}
-				e.q.insert(int(v), key)
-			case !e.dirty.Contains(int(v)):
-				e.setLB.Remove(int(v))
-				key := int(e.deg[v])
-				if key < kmin-1 {
-					key = kmin - 1
-				}
-				e.q.insert(int(v), key)
-			default:
-				e.setLB.Add(int(v))
-				key := int(lb3[v])
-				if key < kmin-1 {
-					key = kmin - 1
-				}
-				e.q.insert(int(v), key)
-			}
-		}
-
-		// Line 18: resolve core indices in [kmin, kmax].
-		e.coreDecomp(kmin, kmax)
+		// Lines 15–18: seed the bucket queue — with the settled-vertex
+		// carry, so vertices assigned by a higher interval are never
+		// re-processed — and resolve core indices in [kmin, kmax].
+		s.seedQueue(kmin, kmax, true)
+		s.coreDecomp(kmin, kmax)
 	}
+}
+
+// runIntervalsParallel drains the planned intervals through one
+// partitionSolver per pool worker (Pool.Run hands each worker its index
+// and traversal; the engine's parJob closure claims intervals off an
+// atomic cursor, bottom-up so the widest subgraphs start first). Solvers
+// share only read-only state — the CSR graph, the upper bounds and LB2 —
+// plus the output core array, whose written positions are disjoint across
+// intervals; everything mutable lives in the per-worker arenas, so the
+// fan-out is race-free and the merged result deterministic.
+func (e *Engine) runIntervalsParallel(ub, lb2 []int32) {
+	// An arena can only do work while an interval remains unclaimed, so
+	// the fleet is capped at the interval count: each arena pre-sizes
+	// O(n) scratch, and a 64-worker engine peeling a 32-interval plan
+	// must not pay for 32 arenas that can never claim anything. Workers
+	// beyond the cap return from parJob immediately.
+	w := e.pool.Workers()
+	if w > len(e.intervals) {
+		w = len(e.intervals)
+	}
+	e.parSolvers = w
+	for len(e.sv) < w {
+		e.sv = append(e.sv, newPartitionSolver())
+	}
+	for _, s := range e.sv[:w] {
+		// nil pool: inside a Run job the batch kernels are off-limits
+		// (worker 0 would deadlock); inter-interval concurrency replaces
+		// intra-batch concurrency here.
+		s.bind(e.g, e.core, e.h, e.slack, nil)
+	}
+	e.parUB, e.parLB2 = ub, lb2
+	e.cursor.Store(0)
+	e.pool.Run(e.parJob)
+	e.parUB, e.parLB2 = nil, nil
 }

@@ -1,17 +1,17 @@
 package core
 
 // improveLB implements Algorithm 6 for one partition: given the partition's
-// vertex set as the current alive mask, it (1) computes the h-degree of
-// every partition vertex inside the induced subgraph — truncated just above
-// kmax, the largest level this partition can settle, since any count that
-// reaches the cap already places the vertex beyond every decision the
-// partition makes — (2) derives the LB3 bound of Property 3, and (3)
-// "cleans" the partition by cascading removal of vertices whose
-// (optimistically decremented) h-degree falls below kmin, since such
-// vertices cannot belong to any core of this partition.
+// vertex set as the solver's current alive mask, it (1) computes the
+// h-degree of every partition vertex inside the induced subgraph —
+// truncated just above kmax, the largest level this partition can settle,
+// since any count that reaches the cap already places the vertex beyond
+// every decision the partition makes — (2) derives the LB3 bound of
+// Property 3, and (3) "cleans" the partition by cascading removal of
+// vertices whose (optimistically decremented) h-degree falls below kmin,
+// since such vertices cannot belong to any core of this partition.
 //
 // Truncation bookkeeping: vertices whose count hit the cap are marked in
-// e.capped — their deg entry is a lower bound on the true h-degree, which
+// s.capped — their deg entry is a lower bound on the true h-degree, which
 // the cleaning cascade must not treat as an upper bound. When decrements
 // drag a capped entry below kmin, the vertex is re-verified with the
 // threshold kernel (HDegreeAtLeast semantics) before it may be evicted:
@@ -19,28 +19,29 @@ package core
 // because a truncated minimum can only under-estimate the true minimum,
 // and LB3 is a lower bound.
 //
-// On return the alive mask reflects the cleaned partition; e.deg holds the
-// (possibly capped, flagged) h-degrees of step (1); lb3 has been raised in
-// place. The e.dirty set marks surviving vertices whose degree was touched
-// by the cleaning cascade: their e.deg value is no longer trustworthy. For
-// every clean survivor e.deg is exact-or-capped even after removals — a
-// removed vertex w can only affect v's h-neighborhood if some vertex
-// within distance h of v routes through w, which forces w itself within
-// distance h of v, i.e. v would have been decremented.
-func (e *Engine) improveLB(part []int32, kmin, kmax int, lb3 []int32) {
-	e.dirty.Clear()
+// On return the alive mask reflects the cleaned partition; s.deg holds the
+// (possibly capped, flagged) h-degrees of step (1); s.lb3 has been raised
+// in place. The s.dirty set marks surviving vertices whose degree was
+// touched by the cleaning cascade: their s.deg value is no longer
+// trustworthy. For every clean survivor s.deg is exact-or-capped even
+// after removals — a removed vertex w can only affect v's h-neighborhood
+// if some vertex within distance h of v routes through w, which forces w
+// itself within distance h of v, i.e. v would have been decremented.
+func (s *partitionSolver) improveLB(part []int32, kmin, kmax int) {
+	s.dirty.Clear()
 	if len(part) == 0 {
 		return
 	}
-	// Step 1: h-degrees inside G[V[kmin]] (parallel count-only sweep,
-	// truncated above the partition's top level).
-	capd := kmax + 1 + lazyCapSlack
-	e.stats.HDegreeComputations += e.pool.HDegreesCapped(part, e.h, e.alive, capd, e.deg)
+	// Step 1: h-degrees inside G[V[kmin]] (count-only sweep — parallel over
+	// the pool for the sequential solver, single-traversal inside a
+	// concurrent interval job — truncated above the partition's top level).
+	capd := kmax + 1 + s.slack
+	s.stats.HDegreeComputations += s.hdegCappedBatch(part, capd)
 	for _, v := range part {
-		if int(e.deg[v]) >= capd {
-			e.capped.Add(int(v))
+		if int(s.deg[v]) >= capd {
+			s.capped.Add(int(v))
 		} else {
-			e.capped.Remove(int(v))
+			s.capped.Remove(int(v))
 		}
 	}
 
@@ -48,12 +49,13 @@ func (e *Engine) improveLB(part []int32, kmin, kmax int, lb3 []int32) {
 	// least the minimum h-degree within the induced subgraph. A capped
 	// entry under-estimates its vertex's true h-degree, so the truncated
 	// minimum is still a valid lower bound.
-	minDeg := e.deg[part[0]]
+	minDeg := s.deg[part[0]]
 	for _, v := range part[1:] {
-		if e.deg[v] < minDeg {
-			minDeg = e.deg[v]
+		if s.deg[v] < minDeg {
+			minDeg = s.deg[v]
 		}
 	}
+	lb3 := s.lb3
 	for _, v := range part {
 		if minDeg > lb3[v] {
 			lb3[v] = minDeg
@@ -66,53 +68,53 @@ func (e *Engine) improveLB(part []int32, kmin, kmax int, lb3 []int32) {
 	// entries are re-verified first. Assigned vertices (core ≥ previous
 	// kmin > current kmax) can never be evicted: their h-degree inside the
 	// partition is at least min(core index, cap) ≥ kmin.
-	t := e.trav()
-	e.inQueue.Clear()
-	cascade := e.cascade[:0]
+	t := s.t
+	s.inQueue.Clear()
+	cascade := s.cascade[:0]
 	for _, v := range part {
-		if e.deg[v] < int32(kmin) {
+		if s.deg[v] < int32(kmin) {
 			cascade = append(cascade, v)
-			e.inQueue.Add(int(v))
+			s.inQueue.Add(int(v))
 		}
 	}
 	for len(cascade) > 0 {
 		v := cascade[len(cascade)-1]
 		cascade = cascade[:len(cascade)-1]
-		if !e.alive.Contains(int(v)) {
+		if !s.alive.Contains(int(v)) {
 			continue
 		}
-		verts, _ := t.Ball(int(v), e.h, e.alive)
-		e.alive.Remove(int(v))
-		e.dips = e.dips[:0]
+		verts, _ := t.Ball(int(v), s.h, s.alive)
+		s.alive.Remove(int(v))
+		s.dips = s.dips[:0]
 		for _, u := range verts {
-			e.deg[u]--
-			e.stats.Decrements++
-			e.dirty.Add(int(u))
-			if e.deg[u] < int32(kmin) && !e.inQueue.Contains(int(u)) {
-				e.dips = append(e.dips, u)
+			s.deg[u]--
+			s.stats.Decrements++
+			s.dirty.Add(int(u))
+			if s.deg[u] < int32(kmin) && !s.inQueue.Contains(int(u)) {
+				s.dips = append(s.dips, u)
 			}
 		}
 		// verts aliases the traversal scratch, so the re-verifications run
 		// only after the ball has been consumed.
-		for _, u := range e.dips {
-			if e.capped.Contains(int(u)) {
+		for _, u := range s.dips {
+			if s.capped.Contains(int(u)) {
 				// The entry was a truncated lower bound; count again, far
 				// enough to decide the eviction.
-				d := t.HDegreeCapped(int(u), e.h, e.alive, kmin+lazyCapSlack)
-				e.stats.HDegreeComputations++
-				e.deg[u] = int32(d)
-				if d >= kmin+lazyCapSlack {
+				d := t.HDegreeCapped(int(u), s.h, s.alive, kmin+s.slack)
+				s.stats.HDegreeComputations++
+				s.deg[u] = int32(d)
+				if d >= kmin+s.slack {
 					// Still truncated — and still safely above kmin.
 				} else {
-					e.capped.Remove(int(u))
+					s.capped.Remove(int(u))
 				}
 				if d >= kmin {
 					continue // survives the eviction test after all
 				}
 			}
 			cascade = append(cascade, u)
-			e.inQueue.Add(int(u))
+			s.inQueue.Add(int(u))
 		}
 	}
-	e.cascade = cascade[:0]
+	s.cascade = cascade[:0]
 }

@@ -132,11 +132,12 @@ func TestPropertySubgraphCoreBounded(t *testing.T) {
 // TestPropertyAllAlgorithmsValidated: the fast algorithms produce
 // decompositions accepted by the independent verifier on random graphs.
 func TestPropertyAllAlgorithmsValidated(t *testing.T) {
+	forceParallel(t)
 	check := func(seed int64) bool {
 		g := randGraph(seed, 40, 3)
 		for h := 1; h <= 3; h++ {
 			for _, alg := range []Algorithm{HBZ, HLB, HLBUB} {
-				res, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 2})
+				res, err := Decompose(g, Options{H: h, Algorithm: alg, Workers: 2, AllowBaseline: true})
 				if err != nil {
 					return false
 				}

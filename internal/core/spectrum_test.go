@@ -11,7 +11,7 @@ func TestSpectrumMatchesPerLevelDecomposition(t *testing.T) {
 	g := gen.Communities(80, 12, 5, 9, 0.3, 3)
 	maxH := 4
 	for _, alg := range []Algorithm{HBZ, HLB, HLBUB} {
-		sp, err := DecomposeSpectrum(g, maxH, Options{Algorithm: alg, Workers: 1})
+		sp, err := DecomposeSpectrum(g, maxH, Options{Algorithm: alg, Workers: 1, AllowBaseline: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,8 +13,8 @@ import (
 // is decremented by exactly 1 — an optimistic update, since the true
 // h-degree can drop by more — so the level at which a vertex is popped
 // upper-bounds its (k,h)-core index. degH supplies the initial h-degrees.
-// The result lands in (and aliases) the engine's ub scratch; the engine's
-// bucket queue is borrowed and left empty.
+// The result lands in (and aliases) the engine's ub scratch; the
+// sequential solver's bucket queue is borrowed and left empty.
 func (e *Engine) upperBoundsInto(degH []int32) []int32 {
 	n := e.g.NumVertices()
 	e.ub = growInt32(e.ub, n)
@@ -28,7 +28,7 @@ func (e *Engine) upperBoundsInto(degH []int32) []int32 {
 	e.ubdeg = growInt32(e.ubdeg, n)
 	ubdeg := e.ubdeg
 	copy(ubdeg, degH)
-	q := e.q
+	q := e.sv[0].q
 	q.Clear()
 	for v := 0; v < n; v++ {
 		q.insert(v, int(ubdeg[v]))
@@ -70,7 +70,7 @@ func UpperBounds(g *graph.Graph, h, workers int) []int32 {
 	e := NewEngine(g, workers)
 	e.beginRun(Options{H: h}.withDefaults())
 	e.degH = growInt32(e.degH, g.NumVertices())
-	e.pool.HDegrees(e.allVerts(), e.h, e.alive, e.degH)
+	e.pool.HDegrees(e.allVerts(), e.h, e.alive0(), e.degH)
 	out := make([]int32, g.NumVertices())
 	copy(out, e.upperBoundsInto(e.degH))
 	return out
@@ -87,7 +87,7 @@ func PowerPeelingOrder(g *graph.Graph, h, workers int) (order []int, ub []int32)
 	e := NewEngine(g, workers)
 	e.beginRun(Options{H: h}.withDefaults())
 	e.degH = growInt32(e.degH, n)
-	e.pool.HDegrees(e.allVerts(), e.h, e.alive, e.degH)
+	e.pool.HDegrees(e.allVerts(), e.h, e.alive0(), e.degH)
 	ubdeg := make([]int32, n)
 	copy(ubdeg, e.degH)
 	ub = make([]int32, n)

@@ -1,6 +1,9 @@
 package datasets
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/classic"
@@ -153,7 +156,7 @@ func TestPaperGraphAllAlgorithms(t *testing.T) {
 	for h := 1; h <= 4; h++ {
 		want := core.NaiveDecompose(g, h)
 		for _, alg := range []core.Algorithm{core.HBZ, core.HLB, core.HLBUB} {
-			res, err := core.Decompose(g, core.Options{H: h, Algorithm: alg, Workers: 1})
+			res, err := core.Decompose(g, core.Options{H: h, Algorithm: alg, Workers: 1, AllowBaseline: true})
 			if err != nil {
 				t.Fatalf("h=%d %v: %v", h, alg, err)
 			}
@@ -210,5 +213,53 @@ func TestTopologyClassSignatures(t *testing.T) {
 					collab, clustering[collab], road, clustering[road])
 			}
 		}
+	}
+}
+
+// TestLoadFileAndPathAwareLoad checks the SNAP edge-list path support:
+// Load resolves path-shaped names (and bare filenames that exist) through
+// the file reader, while registry names keep winning over the filesystem.
+func TestLoadFileAndPathAwareLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.txt")
+	content := "# comment\n10 20\n20 30\n30 10\n30 40\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("LoadFile: got %d vertices / %d edges, want 4 / 4", g.NumVertices(), g.NumEdges())
+	}
+	g2, err := Load(path) // path separator → file route
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("Load(path) disagrees with LoadFile(path)")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("Load accepted a nonexistent path")
+	}
+	if _, err := Load("no-such-dataset"); err == nil {
+		t.Fatal("Load accepted an unknown registry name")
+	}
+	// A bare (separator-free) name matching a directory in the working
+	// directory must fall through to the unknown-dataset error, not be
+	// opened as an edge list; an explicit path to a directory surfaces the
+	// file-level error instead.
+	t.Chdir(dir)
+	if err := os.Mkdir("datadir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load("datadir"); err == nil || !strings.Contains(err.Error(), "unknown dataset") {
+		t.Fatalf("Load(bare directory name) = %v, want unknown-dataset error", err)
+	}
+	// A registry name shadowed by a file in the working directory must
+	// still resolve to the registry (names win over bare files).
+	if g3, err := Load("jazz"); err != nil || g3.NumVertices() == 0 {
+		t.Fatalf("registry name stopped resolving: %v", err)
 	}
 }

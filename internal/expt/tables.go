@@ -26,9 +26,14 @@ func Table1(cfg Config) ([]Table1Row, error) {
 	names := cfg.pick(datasets.Names())
 	rows := make([]Table1Row, 0, len(names))
 	for _, name := range names {
-		d, err := datasets.Get(name)
-		if err != nil {
-			return nil, err
+		// Registry metadata (the paper's original |V|/|E| and the scale
+		// factor) only exists for registry names; a SNAP file passed via
+		// -dataset measures at full scale with no paper row to mirror.
+		var d datasets.Dataset
+		if reg, err := datasets.Get(name); err == nil {
+			d = reg
+		} else {
+			d = datasets.Dataset{Name: name, Scale: 1}
 		}
 		g, err := cfg.load(name)
 		if err != nil {
@@ -297,6 +302,7 @@ func Table5(cfg Config) ([]Table5Row, error) {
 			run := func(opts core.Options) (*core.Result, error) {
 				opts.H = h
 				opts.Workers = cfg.Workers
+				opts.AllowBaseline = true // ablation harness: baselines wanted
 				return core.Decompose(g, opts)
 			}
 			r, err := run(core.Options{Algorithm: core.HBZ})

@@ -1,6 +1,7 @@
 package hbfs
 
 import (
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -221,5 +222,39 @@ func TestPoolVisitAccounting(t *testing.T) {
 	// Default worker count.
 	if NewPool(g, 0).Workers() < 1 {
 		t.Fatal("default pool empty")
+	}
+}
+
+// TestPoolRunOncePerWorker pins Run's contract: every worker index runs
+// exactly once per fan-out, each with its own dedicated traversal — even
+// when a fast helper loops back to the wake channel while other wake-ups
+// are still pending (the index travels through the channel, so a helper
+// can never re-claim its own slot).
+func TestPoolRunOncePerWorker(t *testing.T) {
+	g := pathGraph(8)
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(g, workers)
+		for round := 0; round < 20; round++ {
+			var calls [8]atomic.Int32
+			var travs [8]atomic.Pointer[Traversal]
+			p.Run(func(w int, tr *Traversal) {
+				calls[w].Add(1)
+				travs[w].Store(tr)
+			})
+			for w := 0; w < workers; w++ {
+				if got := calls[w].Load(); got != 1 {
+					t.Fatalf("workers=%d round=%d: worker %d ran %d times, want 1", workers, round, w, got)
+				}
+				if travs[w].Load() != p.Traversal(w) {
+					t.Fatalf("workers=%d round=%d: worker %d got a foreign traversal", workers, round, w)
+				}
+			}
+			for w := workers; w < 8; w++ {
+				if calls[w].Load() != 0 {
+					t.Fatalf("workers=%d: phantom worker %d invoked", workers, w)
+				}
+			}
+		}
+		p.Close()
 	}
 }

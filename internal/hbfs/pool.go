@@ -4,6 +4,13 @@
 // keeps long-lived helpers parked on a channel between batches, so the
 // steady-state cost of a batch is one wake-up per helper plus the atomic
 // cursor traffic.
+//
+// Besides the batch kernels, the pool exposes Run — a generic fan-out that
+// hands every worker (its index and its dedicated Traversal) to a caller
+// callback. This is the hand-off the parallel partition peeling is built
+// on: the same parked helpers serve both the batch kernels and the
+// partition-solver goroutines, and since a Pool runs one job at a time by
+// contract, the two can never fight over workers.
 package hbfs
 
 import (
@@ -15,19 +22,21 @@ import (
 	"repro/internal/vset"
 )
 
-// parallelBatchMin is the batch size below which the publisher runs the
-// whole batch on worker 0 rather than waking the helpers.
-const parallelBatchMin = 64
+// DefaultBatchMin is the default batch size below which the publisher runs
+// the whole batch on worker 0 rather than waking the helpers. Tunable per
+// pool via SetTuning.
+const DefaultBatchMin = 64
 
-// batchChunk is the number of vertices a worker claims per cursor bump.
-const batchChunk = 32
+// DefaultBatchChunk is the default number of vertices a worker claims per
+// cursor bump. Tunable per pool via SetTuning.
+const DefaultBatchChunk = 32
 
 // Pool runs batch h-degree computations with a fixed number of workers.
 // Helper goroutines are spawned lazily on the first large batch and then
 // persist, parked between batches; the publishing goroutine doubles as
 // worker 0, so a single-worker pool never spawns anything. Visit counts
 // from all workers aggregate into the pool. A Pool is NOT safe for
-// concurrent use: one batch at a time.
+// concurrent use: one batch (or Run job) at a time.
 type Pool struct {
 	s *poolShared
 }
@@ -41,6 +50,10 @@ type poolShared struct {
 	workers int
 	travs   []*Traversal
 
+	// Batch tuning, adjustable between batches via SetTuning.
+	batchMin   int
+	batchChunk int64
+
 	// The published batch. Written by the publisher before the helpers are
 	// woken, read by helpers, and cleared after wg resolves — the wake
 	// channel orders the writes, the WaitGroup orders the clear.
@@ -50,11 +63,21 @@ type poolShared struct {
 	out   []int32
 	cap   int // 0 = exact h-degrees, > 0 = capped kernel
 
+	// job, when non-nil, replaces the batch drain: each woken worker calls
+	// job(workerIndex, traversal) exactly once (Run). Published and cleared
+	// under the same wake/wg ordering as the batch fields.
+	job func(worker int, t *Traversal)
+
 	cursor    atomic.Int64
 	evaluated atomic.Int64
 	wg        sync.WaitGroup
 
-	wake    chan struct{}
+	// wake carries worker indices 1..workers-1. Addressing the wake-ups by
+	// index (rather than an anonymous token) is what enforces the
+	// once-per-worker contract of Run and the batch fan-out: a helper that
+	// finishes early and loops back can only claim a *different* worker's
+	// index — with its traversal — never re-run its own.
+	wake    chan int
 	quit    chan struct{}
 	spawned bool
 	closed  bool
@@ -70,11 +93,13 @@ func NewPool(g *graph.Graph, workers int) *Pool {
 		workers = 1
 	}
 	s := &poolShared{
-		g:       g,
-		workers: workers,
-		travs:   make([]*Traversal, workers),
-		wake:    make(chan struct{}, workers-1),
-		quit:    make(chan struct{}),
+		g:          g,
+		workers:    workers,
+		travs:      make([]*Traversal, workers),
+		batchMin:   DefaultBatchMin,
+		batchChunk: DefaultBatchChunk,
+		wake:       make(chan int, workers-1),
+		quit:       make(chan struct{}),
 	}
 	for i := range s.travs {
 		s.travs[i] = NewTraversal(g)
@@ -84,6 +109,21 @@ func NewPool(g *graph.Graph, workers int) *Pool {
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.s.workers }
+
+// SetTuning adjusts the batch dispatch parameters: batchMin is the batch
+// size below which the publisher skips waking the helpers, batchChunk the
+// number of vertices a worker claims per cursor bump. Values ≤ 0 restore
+// the defaults. Must not be called while a batch or Run job is in flight.
+func (p *Pool) SetTuning(batchMin, batchChunk int) {
+	if batchMin <= 0 {
+		batchMin = DefaultBatchMin
+	}
+	if batchChunk <= 0 {
+		batchChunk = DefaultBatchChunk
+	}
+	p.s.batchMin = batchMin
+	p.s.batchChunk = int64(batchChunk)
+}
 
 // Reset re-binds every worker traversal to g, reusing scratch capacity.
 // Must not be called while a batch is in flight (helpers are parked
@@ -115,20 +155,27 @@ func (p *Pool) ensureHelpers() {
 	}
 	s.spawned = true
 	for i := 1; i < s.workers; i++ {
-		go helperLoop(s, s.travs[i])
+		go helperLoop(s)
 	}
 	runtime.SetFinalizer(p, (*Pool).Close)
 }
 
-// helperLoop parks on the wake channel, drains its share of the published
-// batch, and parks again.
-func helperLoop(s *poolShared, t *Traversal) {
+// helperLoop parks on the wake channel; each received index identifies the
+// worker (and traversal) to impersonate for one round of the published
+// batch (or Run job). The helpers are interchangeable — identity lives in
+// the channel message, so every published index runs exactly once.
+func helperLoop(s *poolShared) {
 	for {
 		select {
 		case <-s.quit:
 			return
-		case <-s.wake:
-			s.run(t)
+		case w := <-s.wake:
+			t := s.travs[w]
+			if job := s.job; job != nil {
+				job(w, t)
+			} else {
+				s.run(t)
+			}
 			s.wg.Done()
 		}
 	}
@@ -137,13 +184,14 @@ func helperLoop(s *poolShared, t *Traversal) {
 // run drains batch chunks via the atomic cursor until the batch is empty.
 func (s *poolShared) run(t *Traversal) {
 	n := int64(len(s.verts))
+	chunk := s.batchChunk
 	var evaluated int64
 	for {
-		start := s.cursor.Add(batchChunk) - batchChunk
+		start := s.cursor.Add(chunk) - chunk
 		if start >= n {
 			break
 		}
-		end := start + batchChunk
+		end := start + chunk
 		if end > n {
 			end = n
 		}
@@ -182,6 +230,35 @@ func (p *Pool) ResetVisits() {
 // single-threaded parts of the algorithms.
 func (p *Pool) Traversal(i int) *Traversal { return p.s.travs[i] }
 
+// Run invokes fn(worker, traversal) concurrently on every pool worker —
+// once per worker, each with its own index and dedicated Traversal — and
+// returns when all invocations have completed. The publishing goroutine
+// doubles as worker 0, so a single-worker (or closed) pool runs fn inline
+// with no goroutine traffic. fn typically loops over an external work
+// queue (an atomic cursor) until it is drained.
+//
+// Run and the batch kernels share the same parked helper goroutines and
+// the same one-job-at-a-time contract, so callers never have batch BFS
+// work and Run jobs competing for a worker: fn must not invoke the pool's
+// batch kernels (worker 0 would deadlock waiting on itself).
+func (p *Pool) Run(fn func(worker int, t *Traversal)) {
+	s := p.s
+	if s.workers == 1 || s.closed {
+		fn(0, s.travs[0])
+		return
+	}
+	p.ensureHelpers()
+	s.job = fn
+	helpers := s.workers - 1
+	s.wg.Add(helpers)
+	for i := 1; i <= helpers; i++ {
+		s.wake <- i
+	}
+	fn(0, s.travs[0])
+	s.wg.Wait()
+	s.job = nil
+}
+
 // HDegrees computes deg^h_{G[alive]}(v) for every vertex in verts, writing
 // results into out (indexed by vertex id). Vertices are distributed
 // dynamically over the pool's workers via an atomic cursor. It returns the
@@ -210,7 +287,7 @@ func (p *Pool) batch(verts []int32, h int, alive *vset.Set, out []int32, cap int
 		return 0
 	}
 	s := p.s
-	if s.workers == 1 || s.closed || len(verts) < parallelBatchMin {
+	if s.workers == 1 || s.closed || len(verts) < s.batchMin {
 		t := s.travs[0]
 		var evaluated int64
 		for _, v := range verts {
@@ -231,8 +308,8 @@ func (p *Pool) batch(verts []int32, h int, alive *vset.Set, out []int32, cap int
 	s.evaluated.Store(0)
 	helpers := s.workers - 1
 	s.wg.Add(helpers)
-	for i := 0; i < helpers; i++ {
-		s.wake <- struct{}{}
+	for i := 1; i <= helpers; i++ {
+		s.wake <- i
 	}
 	s.run(s.travs[0])
 	s.wg.Wait()

@@ -60,18 +60,21 @@ func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, 
 // Algorithm selects the decomposition strategy of §4.
 type Algorithm = core.Algorithm
 
-// Decomposition algorithms (paper §4). HLBUB is the fastest on most
-// graphs and the recommended default; HBZ is the baseline.
+// Decomposition algorithms (paper §4). HLBUB — the paper's fastest
+// variant, and the only one whose peeling parallelizes across partitions —
+// is the default (zero value). HBZ is the baseline: it is gated behind
+// Options.AllowBaseline so no serving path reaches it by accident.
 const (
-	// HBZ is the distance-generalized Batagelj–Zaveršnik baseline
-	// (Algorithm 1).
-	HBZ = core.HBZ
+	// HLBUB adds the power-graph upper bound and independent top-down
+	// partitions (Algorithms 4–6); with Workers > 1 the partitions are
+	// peeled concurrently. The default.
+	HLBUB = core.HLBUB
 	// HLB adds the LB2 lower bound with lazy h-degree computation
 	// (Algorithms 2–3).
 	HLB = core.HLB
-	// HLBUB adds the power-graph upper bound and independent top-down
-	// partitions (Algorithms 4–6).
-	HLBUB = core.HLBUB
+	// HBZ is the distance-generalized Batagelj–Zaveršnik baseline
+	// (Algorithm 1). Requires Options.AllowBaseline.
+	HBZ = core.HBZ
 )
 
 // Options configures Decompose; see core.Options for field semantics.
@@ -86,26 +89,29 @@ type Stats = core.Stats
 
 // Decompose computes the (k,h)-core decomposition of g. Options.H selects
 // the distance threshold (default 2); Options.Algorithm the strategy
-// (default HBZ — pass HLBUB for the paper's fastest variant);
-// Options.Workers the h-BFS parallelism (default NumCPU). Each call
-// allocates a fresh working set; callers that decompose repeatedly should
-// hold an Engine (NewEngine) instead.
+// (default HLBUB, the paper's fastest variant; the HBZ baseline requires
+// Options.AllowBaseline); Options.Workers the h-BFS and partition-solver
+// parallelism (default NumCPU). Each call allocates a fresh working set;
+// callers that decompose repeatedly should hold an Engine (NewEngine)
+// instead.
 func Decompose(g *Graph, opts Options) (*Result, error) {
 	return core.Decompose(g, opts)
 }
 
 // Engine is a reusable decomposition context bound to one graph: it owns
-// the h-BFS traversal pool, the packed vertex sets, the bucket queue and
-// every scratch array the three algorithms need, and reuses all of it
-// across runs. It is the recommended entry point for serving workloads —
-// repeated Engine.Decompose calls allocate almost nothing (exactly nothing
-// through Engine.DecomposeInto with Workers = 1), where each package-level
-// Decompose call rebuilds the whole working set. An Engine is NOT safe for
-// concurrent use; create one per goroutine.
+// the h-BFS traversal pool and one solver arena per worker — the packed
+// vertex sets, the bucket queue and every scratch array the algorithms
+// need — and reuses all of it across runs. It is the recommended entry
+// point for serving workloads: repeated Engine.DecomposeInto calls
+// allocate nothing in the steady state, including on the parallel h-LB+UB
+// path, where each package-level Decompose call rebuilds the whole
+// working set. An Engine is NOT safe for concurrent use; create one per
+// goroutine (the engine parallelizes internally across its workers).
 type Engine = core.Engine
 
 // NewEngine returns an Engine bound to g with an h-BFS worker pool of the
-// given size (≤ 0 selects NumCPU). The pool size is fixed for the
+// given size (≤ 0 selects NumCPU). The pool size — which also caps the
+// number of concurrent h-LB+UB partition solvers — is fixed for the
 // engine's lifetime; Options.Workers is ignored by its methods.
 func NewEngine(g *Graph, workers int) *Engine {
 	return core.NewEngine(g, workers)

@@ -30,7 +30,7 @@ func TestQuickstart(t *testing.T) {
 func TestPaperExampleThroughPublicAPI(t *testing.T) {
 	g := khcore.PaperGraph()
 	for _, alg := range []khcore.Algorithm{khcore.HBZ, khcore.HLB, khcore.HLBUB} {
-		res, err := khcore.Decompose(g, khcore.Options{H: 2, Algorithm: alg})
+		res, err := khcore.Decompose(g, khcore.Options{H: 2, Algorithm: alg, AllowBaseline: true})
 		if err != nil {
 			t.Fatal(err)
 		}
