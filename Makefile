@@ -29,10 +29,11 @@ race:
 	go test -race ./internal/... .
 
 # race-parallel is the CI smoke of the concurrent h-LB+UB path: the
-# parallel-vs-sequential equivalence property, engine reuse and the
-# multi-worker engine tests under the race detector.
+# parallel-vs-sequential equivalence property, engine reuse, the
+# EnginePool concurrent-load tests and the mid-peel cancellation property
+# under the race detector.
 race-parallel:
-	go test -race -run 'TestParallel|TestEngine' ./internal/core/ .
+	go test -race -run 'TestParallel|TestEngine|TestCancel' ./internal/core/ .
 
 # bench runs the kernel benchmark suite and records it into
 # BENCH_kernels.json via cmd/benchjson. Drop a baseline run (same format,

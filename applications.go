@@ -1,6 +1,8 @@
 package khcore
 
 import (
+	"context"
+
 	"repro/internal/apps/chromatic"
 	"repro/internal/apps/community"
 	"repro/internal/apps/densest"
@@ -55,10 +57,24 @@ func MaxHClub(g *Graph, h int, opts HClubOptions) HClubResult {
 	return hclub.Exact(g, h, opts)
 }
 
+// MaxHClubCtx is MaxHClub with cooperative cancellation: the branch and
+// bound polls ctx alongside its node budget and wall-clock deadline. On
+// cancellation the incumbent found so far is returned (Exact=false) with
+// an error wrapping ErrCanceled and ctx.Err().
+func MaxHClubCtx(ctx context.Context, g *Graph, h int, opts HClubOptions) (HClubResult, error) {
+	return hclub.ExactCtx(ctx, g, h, opts)
+}
+
 // MaxHClubIterative finds a maximum h-club with the
 // neighborhood-decomposition solver (the paper's ITDBC stand-in).
 func MaxHClubIterative(g *Graph, h int, opts HClubOptions) HClubResult {
 	return hclub.ExactIterative(g, h, opts)
+}
+
+// MaxHClubIterativeCtx is MaxHClubIterative with cooperative cancellation;
+// the contract matches MaxHClubCtx.
+func MaxHClubIterativeCtx(ctx context.Context, g *Graph, h int, opts HClubOptions) (HClubResult, error) {
+	return hclub.ExactIterativeCtx(ctx, g, h, opts)
 }
 
 // MaxHClubWithCores is Algorithm 7: it wraps any black-box solver with the
@@ -68,6 +84,15 @@ func MaxHClubIterative(g *Graph, h int, opts HClubOptions) HClubResult {
 // result for the same h.
 func MaxHClubWithCores(g *Graph, h int, decomposition *Result, solver HClubSolver, opts HClubOptions) (HClubResult, error) {
 	return hclub.WithCores(g, h, decomposition, solver, opts)
+}
+
+// MaxHClubWithCoresCtx is MaxHClubWithCores (Algorithm 7) with cooperative
+// cancellation: ctx is checked before every core level's solver call and
+// flows into the built-in solvers (MaxHClub, MaxHClubIterative), so the
+// inner branch and bound aborts too. On cancellation the best club found
+// so far is returned (Exact=false) with an ErrCanceled wrap.
+func MaxHClubWithCoresCtx(ctx context.Context, g *Graph, h int, decomposition *Result, solver HClubSolver, opts HClubOptions) (HClubResult, error) {
+	return hclub.WithCoresCtx(ctx, g, h, decomposition, solver, opts)
 }
 
 // ---- Distance-h densest subgraph (§5.3) ----

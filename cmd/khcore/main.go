@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	khcore "repro"
 	"repro/internal/core"
@@ -29,17 +32,28 @@ func main() {
 		histogram = flag.Bool("histogram", false, "print per-level core sizes")
 		vertices  = flag.Bool("vertices", false, "print per-vertex core indices")
 		validate  = flag.Bool("validate", false, "independently verify the decomposition (slow)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the decomposition (and -validate); 0 = unlimited")
 	)
 	flag.Parse()
-	if err := run(*h, *algo, *workers, *partition, *dataset, *histogram, *vertices, *validate, flag.Args()); err != nil {
+	if err := run(*h, *algo, *workers, *partition, *dataset, *timeout, *histogram, *vertices, *validate, flag.Args()); err != nil {
+		if errors.Is(err, khcore.ErrCanceled) {
+			fmt.Fprintf(os.Stderr, "khcore: timed out after %s (%v)\n", *timeout, err)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "khcore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(h int, algo string, workers, partition int, dataset string, histogram, vertices, validate bool, args []string) error {
+func run(h int, algo string, workers, partition int, dataset string, timeout time.Duration, histogram, vertices, validate bool, args []string) error {
 	if h < 1 {
 		return fmt.Errorf("invalid -h %d: need h ≥ 1", h)
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
 	var g *khcore.Graph
 	var ids []int64
@@ -76,7 +90,7 @@ func run(h int, algo string, workers, partition int, dataset string, histogram, 
 		return fmt.Errorf("unknown algorithm %q (want bz, lb or lbub)", algo)
 	}
 
-	res, err := khcore.Decompose(g, core.Options{
+	res, err := khcore.DecomposeCtx(ctx, g, core.Options{
 		H: h, Algorithm: alg, Workers: workers, PartitionSize: partition,
 		// -algo bz is an explicit user choice, which is exactly what the
 		// baseline gate asks for.
@@ -112,7 +126,10 @@ func run(h int, algo string, workers, partition int, dataset string, histogram, 
 		}
 	}
 	if validate {
-		if err := khcore.Validate(g, h, res.Core); err != nil {
+		if err := khcore.ValidateCtx(ctx, g, h, res.Core); err != nil {
+			if errors.Is(err, khcore.ErrCanceled) {
+				return err
+			}
 			return fmt.Errorf("validation FAILED: %w", err)
 		}
 		fmt.Println("validation: OK")

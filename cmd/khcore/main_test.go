@@ -1,19 +1,23 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
+
+	khcore "repro"
 )
 
 func TestRunOnDataset(t *testing.T) {
-	if err := run(2, "lbub", 1, 0, "coli", true, false, false, nil); err != nil {
+	if err := run(2, "lbub", 1, 0, "coli", 0, true, false, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, "bz", 1, 0, "coli", false, false, false, nil); err != nil {
+	if err := run(2, "bz", 1, 0, "coli", 0, false, false, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(1, "lb", 1, 0, "jazz", false, false, true, nil); err != nil {
+	if err := run(1, "lb", 1, 0, "jazz", 0, false, false, true, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -24,25 +28,35 @@ func TestRunOnEdgeListFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("# tri\n10 20\n20 30\n30 10\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, "lbub", 1, 0, "", false, true, false, []string{path}); err != nil {
+	if err := run(2, "lbub", 1, 0, "", 0, false, true, false, []string{path}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(2, "lbub", 1, 0, "", false, false, false, nil); err == nil {
+	if err := run(2, "lbub", 1, 0, "", 0, false, false, false, nil); err == nil {
 		t.Fatal("no input accepted")
 	}
-	if err := run(2, "nope", 1, 0, "coli", false, false, false, nil); err == nil {
+	if err := run(2, "nope", 1, 0, "coli", 0, false, false, false, nil); err == nil {
 		t.Fatal("bad algorithm accepted")
 	}
-	if err := run(2, "lbub", 1, 0, "bogus", false, false, false, nil); err == nil {
+	if err := run(2, "lbub", 1, 0, "bogus", 0, false, false, false, nil); err == nil {
 		t.Fatal("bad dataset accepted")
 	}
-	if err := run(0, "lbub", 1, 0, "coli", false, false, false, nil); err == nil {
+	if err := run(0, "lbub", 1, 0, "coli", 0, false, false, false, nil); err == nil {
 		t.Fatal("h=0 accepted")
 	}
-	if err := run(2, "lbub", 1, 0, "", false, false, false, []string{"/nonexistent/file"}); err == nil {
+	if err := run(2, "lbub", 1, 0, "", 0, false, false, false, []string{"/nonexistent/file"}); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestRunTimeout drives the new -timeout flag end to end: a nanosecond
+// budget expires before the decomposition's first cancellation poll, so
+// run reports the typed cancellation instead of hanging or succeeding.
+func TestRunTimeout(t *testing.T) {
+	err := run(2, "lbub", 1, 0, "coli", time.Nanosecond, false, false, false, nil)
+	if !errors.Is(err, khcore.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled wrap", err)
 	}
 }

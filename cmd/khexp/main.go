@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +21,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	khcore "repro"
 	"repro/internal/expt"
 )
 
@@ -37,6 +40,7 @@ func main() {
 		budget      = flag.Int64("club-budget", 0, "h-club branch-and-bound node budget (0 = default)")
 		clubTimeout = flag.Duration("club-timeout", 0, "per-solver h-club wall-clock cap (0 = 15s default)")
 		seed        = flag.Uint64("seed", 0, "sampling seed (0 = default)")
+		timeout     = flag.Duration("timeout", 0, "wall-clock budget for the whole run; expiry cancels the in-flight decomposition cooperatively (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -84,13 +88,25 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	err := run(flag.Arg(0), cfg, os.Stdout)
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+	}
+	err := run(ctx, flag.Arg(0), cfg, os.Stdout)
+	if cancel != nil {
+		cancel()
+	}
 	if *cpuprofile != "" {
 		// Stop before the error exit below: os.Exit skips defers, and a
 		// truncated profile is worthless.
 		pprof.StopCPUProfile()
 	}
 	if err != nil {
+		if errors.Is(err, khcore.ErrCanceled) {
+			fmt.Fprintf(os.Stderr, "khexp: timed out after %s (%v)\n", *timeout, err)
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "khexp:", err)
 		os.Exit(1)
 	}
@@ -104,10 +120,10 @@ func listIDs(w io.Writer) {
 }
 
 // run executes one experiment id (or "all") against cfg, writing the
-// rendered tables to w.
-func run(id string, cfg expt.Config, w io.Writer) error {
+// rendered tables to w. ctx bounds every decomposition and solver call.
+func run(ctx context.Context, id string, cfg expt.Config, w io.Writer) error {
 	if id == "all" {
-		return expt.RunAll(cfg, w)
+		return expt.RunAllCtx(ctx, cfg, w)
 	}
-	return expt.Run(id, cfg, w)
+	return expt.RunCtx(ctx, id, cfg, w)
 }

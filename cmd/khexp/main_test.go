@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
+	khcore "repro"
 	"repro/internal/expt"
 )
 
@@ -36,7 +40,7 @@ func TestListIDs(t *testing.T) {
 
 func TestRunSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run("table2", tiny(), &buf); err != nil {
+	if err := run(context.Background(), "table2", tiny(), &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -47,7 +51,19 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunUnknownID(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run("table99", tiny(), &buf); err == nil {
+	if err := run(context.Background(), "table99", tiny(), &buf); err == nil {
 		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+// TestRunTimeout exercises the -timeout path: an expired deadline cancels
+// the experiment's first decomposition, surfacing the typed cancellation.
+func TestRunTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	var buf bytes.Buffer
+	err := run(ctx, "table2", tiny(), &buf)
+	if !errors.Is(err, khcore.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled wrap", err)
 	}
 }

@@ -1,0 +1,438 @@
+// Command khserve is the (k,h)-core serving daemon: it loads one graph at
+// startup, builds a khcore.EnginePool over it, and serves decomposition,
+// core-membership, spectrum and hierarchy queries as HTTP/JSON with
+// per-request deadlines — the first real consumer of the ctx-aware
+// serving API.
+//
+// Usage:
+//
+//	khserve -addr :8080 -dataset jazz                 # built-in dataset
+//	khserve -dataset path/to/snap.txt -engines 4      # SNAP edge list, 4 engines
+//	khserve graph.txt -timeout 10s                    # positional edge list
+//
+// Endpoints (all GET, all JSON):
+//
+//	/healthz                       liveness + graph/pool shape
+//	/decompose?h=2&algo=lbub       decomposition summary (&vertices=1 for per-vertex cores)
+//	/core?h=2&k=3                  members of the (k,h)-core C_k
+//	/spectrum?maxh=3               per-level summaries (&vertices=1 for per-vertex vectors)
+//	/hierarchy?h=2                 nested core-component forest
+//
+// Every request runs under a deadline: -timeout is the default,
+// ?timeout=500ms overrides it per request up to -max-timeout. A query that
+// exceeds its deadline is canceled cooperatively inside the engine (the
+// peeling loops and partition work queue poll the context) and reports
+// HTTP 504; the engine returns to the pool immediately reusable.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	khcore "repro"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		dataset    = flag.String("dataset", "", "built-in dataset name, or a path to a SNAP edge-list file")
+		engines    = flag.Int("engines", 0, "engine fleet size (0 = NumCPU)")
+		workers    = flag.Int("workers", 1, "h-BFS workers per engine (0 = NumCPU); engines×workers is the peak goroutine count")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "upper cap on the per-request ?timeout= override")
+		maxH       = flag.Int("max-h", 8, "largest accepted distance threshold (guards the O(n·ball) blow-up of huge h)")
+	)
+	flag.Parse()
+	if err := run(*addr, *dataset, *engines, *workers, *timeout, *maxTimeout, *maxH, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "khserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataset string, engines, workers int, timeout, maxTimeout time.Duration, maxH int, args []string) error {
+	var g *khcore.Graph
+	var ids []int64
+	switch {
+	case dataset != "":
+		var err error
+		g, err = khcore.LoadDataset(dataset)
+		if err != nil {
+			return err
+		}
+	case len(args) == 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, ids, err = khcore.ReadEdgeList(f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need exactly one edge-list file or -dataset (known datasets: %v)", khcore.DatasetNames())
+	}
+
+	s, err := newServer(g, ids, engines, workers, timeout, maxTimeout, maxH)
+	if err != nil {
+		return err
+	}
+	defer s.pool.Close()
+	log.Printf("khserve: %d vertices, %d edges, %d engines × %d workers, listening on %s",
+		g.NumVertices(), g.NumEdges(), s.pool.Size(), workers, addr)
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: s.handler(),
+		// The per-request ?timeout= deadline only starts once the handler
+		// runs; these bound the phases before that, so slow clients can't
+		// accumulate header-reading goroutines unboundedly.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
+}
+
+// server holds the serving state: one immutable graph and the engine
+// fleet all request goroutines multiplex onto.
+type server struct {
+	g          *khcore.Graph
+	ids        []int64 // dense id -> original edge-list id (nil for datasets)
+	pool       *khcore.EnginePool
+	timeout    time.Duration
+	maxTimeout time.Duration
+	maxH       int
+}
+
+func newServer(g *khcore.Graph, ids []int64, engines, workers int, timeout, maxTimeout time.Duration, maxH int) (*server, error) {
+	pool, err := khcore.NewEnginePool(g, engines, workers)
+	if err != nil {
+		return nil, err
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	if maxTimeout < timeout {
+		maxTimeout = timeout
+	}
+	if maxH < 1 {
+		maxH = 8
+	}
+	return &server{g: g, ids: ids, pool: pool, timeout: timeout, maxTimeout: maxTimeout, maxH: maxH}, nil
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /decompose", s.handleDecompose)
+	mux.HandleFunc("GET /core", s.handleCore)
+	mux.HandleFunc("GET /spectrum", s.handleSpectrum)
+	mux.HandleFunc("GET /hierarchy", s.handleHierarchy)
+	return mux
+}
+
+// requestCtx derives the request's working context: the client-abort
+// context from net/http, bounded by the default deadline or a smaller/
+// larger per-request ?timeout= override (capped at maxTimeout).
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.timeout
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		td, err := time.ParseDuration(t)
+		if err != nil || td <= 0 {
+			return nil, nil, fmt.Errorf("bad timeout %q: want a positive Go duration like 500ms", t)
+		}
+		if td > s.maxTimeout {
+			td = s.maxTimeout
+		}
+		d = td
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// errorBody is the JSON error envelope; Kind is the typed-error sentinel
+// name so clients can dispatch without parsing the message.
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+// writeErr maps the library's typed errors onto HTTP statuses: malformed
+// requests (ErrInvalidH, ErrUnknownAlgorithm, the baseline gate) are 400s,
+// a deadline expiry is 504, a client abort 499 (nginx convention), and a
+// shut-down pool 503.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	kind := ""
+	switch {
+	case errors.Is(err, khcore.ErrInvalidH):
+		status, kind = http.StatusBadRequest, "invalid_h"
+	case errors.Is(err, khcore.ErrUnknownAlgorithm):
+		status, kind = http.StatusBadRequest, "unknown_algorithm"
+	case errors.Is(err, khcore.ErrBaselineGated):
+		status, kind = http.StatusBadRequest, "baseline_gated"
+	case errors.Is(err, khcore.ErrNilGraph):
+		status, kind = http.StatusServiceUnavailable, "nil_graph"
+	case errors.Is(err, khcore.ErrPoolClosed):
+		status, kind = http.StatusServiceUnavailable, "pool_closed"
+	case errors.Is(err, context.DeadlineExceeded):
+		status, kind = http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, khcore.ErrCanceled):
+		status, kind = 499, "canceled" // client went away mid-run
+	}
+	writeJSON(w, status, errorBody{Error: err.Error(), Kind: kind})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// parseH reads the h (default 2) query parameter, guarded by -max-h.
+// strconv.Atoi keeps the parse strict: "2x3" is a 400, not h=2.
+func (s *server) parseH(r *http.Request) (int, error) {
+	h := 2
+	if v := r.URL.Query().Get("h"); v != "" {
+		var err error
+		if h, err = strconv.Atoi(v); err != nil {
+			return 0, fmt.Errorf("%w: h=%q", khcore.ErrInvalidH, v)
+		}
+	}
+	if h < 1 || h > s.maxH {
+		return 0, fmt.Errorf("%w: h=%d (this server accepts 1 ≤ h ≤ %d)", khcore.ErrInvalidH, h, s.maxH)
+	}
+	return h, nil
+}
+
+// parseAlgo maps the algo parameter onto the library's Algorithm values.
+// The h-BZ baseline maps without AllowBaseline, so requesting it surfaces
+// the library's gate as a 400 — khserve is exactly the serving path the
+// gate protects.
+func parseAlgo(r *http.Request) (khcore.Algorithm, error) {
+	switch a := r.URL.Query().Get("algo"); a {
+	case "", "lbub":
+		return khcore.HLBUB, nil
+	case "lb":
+		return khcore.HLB, nil
+	case "bz":
+		return khcore.HBZ, nil
+	default:
+		return 0, fmt.Errorf("%w: algo=%q (want lbub, lb or bz)", khcore.ErrUnknownAlgorithm, a)
+	}
+}
+
+type healthzResponse struct {
+	Status   string `json:"status"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Engines  int    `json:"engines"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:   "ok",
+		Vertices: s.g.NumVertices(),
+		Edges:    s.g.NumEdges(),
+		Engines:  s.pool.Size(),
+	})
+}
+
+type decomposeResponse struct {
+	H             int    `json:"h"`
+	Algorithm     string `json:"algorithm"`
+	MaxCoreIndex  int    `json:"maxCoreIndex"`
+	DistinctCores int    `json:"distinctCores"`
+	CoreSizes     []int  `json:"coreSizes"`
+	DurationMS    int64  `json:"durationMs"`
+	Core          []int  `json:"core,omitempty"`
+}
+
+func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_timeout"})
+		return
+	}
+	defer cancel()
+	h, err := s.parseH(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	algo, err := parseAlgo(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.pool.Decompose(ctx, khcore.Options{H: h, Algorithm: algo})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := decomposeResponse{
+		H:             res.H,
+		Algorithm:     algo.String(),
+		MaxCoreIndex:  res.MaxCoreIndex(),
+		DistinctCores: res.DistinctCores(),
+		CoreSizes:     res.CoreSizes(),
+		DurationMS:    res.Stats.Duration.Milliseconds(),
+	}
+	if r.URL.Query().Get("vertices") != "" {
+		resp.Core = res.Core
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type coreResponse struct {
+	H       int     `json:"h"`
+	K       int     `json:"k"`
+	Size    int     `json:"size"`
+	Members []int   `json:"members"`
+	IDs     []int64 `json:"ids,omitempty"`
+}
+
+func (s *server) handleCore(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_timeout"})
+		return
+	}
+	defer cancel()
+	h, err := s.parseH(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	k := 1
+	if v := r.URL.Query().Get("k"); v != "" {
+		var perr error
+		if k, perr = strconv.Atoi(v); perr != nil || k < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad k=%q", v), Kind: "bad_k"})
+			return
+		}
+	}
+	res, err := s.pool.Decompose(ctx, khcore.Options{H: h})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	members := res.CoreVertices(k)
+	resp := coreResponse{H: h, K: k, Size: len(members), Members: members}
+	if s.ids != nil {
+		resp.IDs = make([]int64, len(members))
+		for i, v := range members {
+			resp.IDs[i] = s.ids[v]
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type spectrumLevel struct {
+	H             int   `json:"h"`
+	MaxCoreIndex  int   `json:"maxCoreIndex"`
+	DistinctCores int   `json:"distinctCores"`
+	Core          []int `json:"core,omitempty"`
+}
+
+type spectrumResponse struct {
+	MaxH   int             `json:"maxH"`
+	Levels []spectrumLevel `json:"levels"`
+}
+
+func (s *server) handleSpectrum(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_timeout"})
+		return
+	}
+	defer cancel()
+	maxH := 3
+	if v := r.URL.Query().Get("maxh"); v != "" {
+		var perr error
+		if maxH, perr = strconv.Atoi(v); perr != nil {
+			writeErr(w, fmt.Errorf("%w: maxh=%q", khcore.ErrInvalidH, v))
+			return
+		}
+	}
+	if maxH < 1 || maxH > s.maxH {
+		writeErr(w, fmt.Errorf("%w: maxh=%d (this server accepts 1 ≤ maxh ≤ %d)", khcore.ErrInvalidH, maxH, s.maxH))
+		return
+	}
+	sp, err := s.pool.DecomposeSpectrum(ctx, maxH, khcore.Options{})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	withVertices := r.URL.Query().Get("vertices") != ""
+	resp := spectrumResponse{MaxH: sp.MaxH, Levels: make([]spectrumLevel, sp.MaxH)}
+	for h := 1; h <= sp.MaxH; h++ {
+		level := khcore.Result{H: h, Core: sp.Core[h-1]}
+		resp.Levels[h-1] = spectrumLevel{
+			H:             h,
+			MaxCoreIndex:  level.MaxCoreIndex(),
+			DistinctCores: level.DistinctCores(),
+		}
+		if withVertices {
+			resp.Levels[h-1].Core = sp.Core[h-1]
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type hierarchyNode struct {
+	K        int   `json:"k"`
+	Size     int   `json:"size"`
+	Parent   int   `json:"parent"`
+	Children []int `json:"children,omitempty"`
+	Vertices []int `json:"vertices,omitempty"`
+}
+
+type hierarchyResponse struct {
+	H     int             `json:"h"`
+	Nodes []hierarchyNode `json:"nodes"`
+	Roots []int           `json:"roots"`
+}
+
+func (s *server) handleHierarchy(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := s.requestCtx(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_timeout"})
+		return
+	}
+	defer cancel()
+	h, err := s.parseH(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.pool.Decompose(ctx, khcore.Options{H: h})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	hier, err := khcore.BuildHierarchy(s.g, res)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	withVertices := r.URL.Query().Get("vertices") != ""
+	resp := hierarchyResponse{H: h, Nodes: make([]hierarchyNode, len(hier.Nodes)), Roots: hier.Roots()}
+	for i, n := range hier.Nodes {
+		resp.Nodes[i] = hierarchyNode{K: n.K, Size: len(n.Vertices), Parent: n.Parent, Children: n.Children}
+		if withVertices {
+			resp.Nodes[i].Vertices = n.Vertices
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	khcore "repro"
+)
+
+// testServer builds a server over a deterministic synthetic graph with a
+// small engine fleet, the shape the daemon runs with in production.
+func testServer(t *testing.T, engines int) (*server, *khcore.Graph) {
+	t.Helper()
+	g := khcore.BarabasiAlbert(300, 3, 42)
+	s, err := newServer(g, nil, engines, 1, 5*time.Second, time.Minute, 8)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	t.Cleanup(s.pool.Close)
+	return s, g
+}
+
+// get performs one request against the handler and decodes the JSON body.
+func get(t *testing.T, h http.Handler, url string, out any) *http.Response {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	s, g := testServer(t, 2)
+	var body healthzResponse
+	resp := get(t, s.handler(), "/healthz", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if body.Status != "ok" || body.Vertices != g.NumVertices() || body.Engines != 2 {
+		t.Fatalf("unexpected body: %+v", body)
+	}
+}
+
+func TestDecomposeMatchesLibrary(t *testing.T) {
+	s, g := testServer(t, 2)
+	var body decomposeResponse
+	resp := get(t, s.handler(), "/decompose?h=2&vertices=1", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	want, err := khcore.Decompose(g, khcore.Options{H: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body.H != 2 || body.MaxCoreIndex != want.MaxCoreIndex() || body.DistinctCores != want.DistinctCores() {
+		t.Fatalf("summary mismatch: %+v vs max=%d distinct=%d", body, want.MaxCoreIndex(), want.DistinctCores())
+	}
+	if len(body.Core) != g.NumVertices() {
+		t.Fatalf("vertices=1 returned %d cores for %d vertices", len(body.Core), g.NumVertices())
+	}
+	for v, c := range want.Core {
+		if body.Core[v] != c {
+			t.Fatalf("core[%d] = %d, want %d", v, body.Core[v], c)
+		}
+	}
+}
+
+func TestCoreMembership(t *testing.T) {
+	s, g := testServer(t, 1)
+	var body coreResponse
+	resp := get(t, s.handler(), "/core?h=2&k=3", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	want, err := khcore.Decompose(g, khcore.Options{H: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMembers := want.CoreVertices(3)
+	if body.Size != len(wantMembers) || len(body.Members) != len(wantMembers) {
+		t.Fatalf("got %d members, want %d", body.Size, len(wantMembers))
+	}
+	for i, v := range wantMembers {
+		if body.Members[i] != v {
+			t.Fatalf("members[%d] = %d, want %d", i, body.Members[i], v)
+		}
+	}
+}
+
+func TestSpectrumAndHierarchy(t *testing.T) {
+	s, _ := testServer(t, 1)
+	var sp spectrumResponse
+	if resp := get(t, s.handler(), "/spectrum?maxh=3", &sp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("spectrum status %d", resp.StatusCode)
+	}
+	if sp.MaxH != 3 || len(sp.Levels) != 3 {
+		t.Fatalf("unexpected spectrum: %+v", sp)
+	}
+	// Core indices are monotone in h (the containment property).
+	for h := 1; h < 3; h++ {
+		if sp.Levels[h].MaxCoreIndex < sp.Levels[h-1].MaxCoreIndex {
+			t.Fatalf("max core decreased from h=%d to h=%d", h, h+1)
+		}
+	}
+	var hier hierarchyResponse
+	if resp := get(t, s.handler(), "/hierarchy?h=2", &hier); resp.StatusCode != http.StatusOK {
+		t.Fatalf("hierarchy status %d", resp.StatusCode)
+	}
+	if len(hier.Nodes) == 0 || len(hier.Roots) == 0 {
+		t.Fatalf("empty hierarchy: %+v", hier)
+	}
+	for i, n := range hier.Nodes {
+		if n.Parent >= i {
+			t.Fatalf("node %d has parent %d (parents must precede children)", i, n.Parent)
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	s, _ := testServer(t, 1)
+	h := s.handler()
+	cases := []struct {
+		url    string
+		status int
+		kind   string
+	}{
+		{"/decompose?h=0", http.StatusBadRequest, "invalid_h"},
+		{"/decompose?h=99", http.StatusBadRequest, "invalid_h"},
+		{"/decompose?h=2x3", http.StatusBadRequest, "invalid_h"},
+		{"/core?k=3.9", http.StatusBadRequest, "bad_k"},
+		{"/decompose?algo=nope", http.StatusBadRequest, "unknown_algorithm"},
+		{"/decompose?algo=bz", http.StatusBadRequest, "baseline_gated"},
+		{"/decompose?timeout=banana", http.StatusBadRequest, "bad_timeout"},
+		{"/spectrum?maxh=0", http.StatusBadRequest, "invalid_h"},
+		{"/core?k=-1", http.StatusBadRequest, "bad_k"},
+	}
+	for _, c := range cases {
+		var body errorBody
+		resp := get(t, h, c.url, &body)
+		if resp.StatusCode != c.status || body.Kind != c.kind {
+			t.Errorf("%s: got status %d kind %q, want %d %q (error: %s)",
+				c.url, resp.StatusCode, body.Kind, c.status, c.kind, body.Error)
+		}
+	}
+}
+
+func TestDeadlineExpiryReports504(t *testing.T) {
+	s, _ := testServer(t, 1)
+	// A nanosecond deadline expires before the engine's first cancellation
+	// poll, so the run aborts as canceled-with-DeadlineExceeded.
+	var body errorBody
+	resp := get(t, s.handler(), "/decompose?h=2&timeout=1ns", &body)
+	if resp.StatusCode != http.StatusGatewayTimeout || body.Kind != "deadline_exceeded" {
+		t.Fatalf("got status %d kind %q, want 504 deadline_exceeded", resp.StatusCode, body.Kind)
+	}
+	// The engine that absorbed the canceled run must serve the next
+	// request normally.
+	var ok decomposeResponse
+	if resp := get(t, s.handler(), "/decompose?h=2", &ok); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-timeout decompose: status %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentLoad multiplexes many goroutines over a 2-engine fleet;
+// under -race this also audits the EnginePool checkout discipline and the
+// engines' mutual isolation.
+func TestConcurrentLoad(t *testing.T) {
+	s, g := testServer(t, 2)
+	want, err := khcore.Decompose(g, khcore.Options{H: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.handler()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				req := httptest.NewRequest("GET", "/decompose?h=2", nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+				var body decomposeResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+					errs <- err
+					return
+				}
+				if body.MaxCoreIndex != want.MaxCoreIndex() {
+					errs <- fmt.Errorf("maxCore %d, want %d", body.MaxCoreIndex, want.MaxCoreIndex())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

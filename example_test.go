@@ -1,7 +1,10 @@
 package khcore_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	khcore "repro"
 )
@@ -81,4 +84,45 @@ func ExampleDecomposeSpectrum() {
 	// Output:
 	// paper vertex 1: [2 4 11]
 	// paper vertex 4: [2 6 11]
+}
+
+// ExampleEnginePool is the serving quick start: a fixed fleet of engines
+// bound to one graph, multiplexing any number of concurrent callers, with
+// per-request deadlines via context.
+func ExampleEnginePool() {
+	g := khcore.PaperGraph()
+
+	// 2 engines × 1 h-BFS worker each: the throughput-oriented shape.
+	pool, err := khcore.NewEnginePool(g, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	defer pool.Close()
+
+	// Any number of goroutines may call Decompose concurrently; each
+	// request is bounded by its context's deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	res, err := pool.Decompose(ctx, khcore.Options{H: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Ĉ2:", res.MaxCoreIndex())
+	// Output:
+	// Ĉ2: 6
+}
+
+// ExampleDecomposeCtx shows the typed-error contract of the ctx-aware
+// API: a canceled context surfaces as an error matching both ErrCanceled
+// and the context's own cause.
+func ExampleDecomposeCtx() {
+	g := khcore.PaperGraph()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // a client disconnect, a deadline, a shed request …
+
+	_, err := khcore.DecomposeCtx(ctx, g, khcore.Options{H: 2})
+	fmt.Println(errors.Is(err, khcore.ErrCanceled), errors.Is(err, context.Canceled))
+	// Output:
+	// true true
 }

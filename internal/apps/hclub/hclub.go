@@ -10,6 +10,7 @@
 package hclub
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -19,6 +20,11 @@ import (
 	"repro/internal/hbfs"
 	"repro/internal/vset"
 )
+
+// canceledErr is the serving contract's cancellation wrap (errors.Is
+// matches both core.ErrCanceled and the context's own error), built by
+// the one shared helper in internal/core.
+func canceledErr(ctx context.Context) error { return core.CanceledError(ctx) }
 
 // IsHClub reports whether the subgraph of g induced by the vertex set S
 // has diameter at most h (Definition 5). Singleton sets are h-clubs; the
@@ -56,6 +62,13 @@ type Options struct {
 	// (0 = unlimited) — the analog of the paper's NT timeout entries.
 	// On expiry the incumbent is returned with Exact=false.
 	MaxDuration time.Duration
+
+	// ctx carries the cancellation of the Ctx entry points into the
+	// branch-and-bound search, including through the black-box Solver
+	// signature (which predates context support and cannot change without
+	// breaking Algorithm 7 plug-ins). Unexported: set via ExactCtx,
+	// ExactIterativeCtx or WithCoresCtx.
+	ctx context.Context
 }
 
 // Result is the outcome of a maximum h-club search.
@@ -140,18 +153,35 @@ func Drop(g *graph.Graph, h int) []int {
 // otherwise the search branches on excluding either endpoint of a
 // farthest violating pair. Each connected component is solved separately.
 func Exact(g *graph.Graph, h int, opts Options) Result {
-	return exactSolve(g, h, opts, Drop(g, h))
+	r, _ := exactSolve(g, h, opts, Drop(g, h))
+	return r
 }
 
-func exactSolve(g *graph.Graph, h int, opts Options, seed []int) Result {
+// ExactCtx is Exact with cooperative cancellation: the branch and bound
+// polls ctx alongside its wall-clock deadline. On cancellation the
+// incumbent found so far is returned (Exact=false) together with an error
+// wrapping core.ErrCanceled and ctx.Err().
+func ExactCtx(ctx context.Context, g *graph.Graph, h int, opts Options) (Result, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return Result{}, canceledErr(ctx) // dead on arrival
+	}
+	opts.ctx = ctx
+	r, canceled := exactSolve(g, h, opts, Drop(g, h))
+	if canceled {
+		return r, canceledErr(ctx)
+	}
+	return r, nil
+}
+
+func exactSolve(g *graph.Graph, h int, opts Options, seed []int) (Result, bool) {
 	n := g.NumVertices()
 	if n == 0 {
-		return Result{Exact: true, SolverCalls: 1}
+		return Result{Exact: true, SolverCalls: 1}, false
 	}
 	if h < 1 {
-		return Result{Club: []int{0}, Exact: true, SolverCalls: 1}
+		return Result{Club: []int{0}, Exact: true, SolverCalls: 1}, false
 	}
-	bb := &bnb{g: g, h: h, opts: opts, trav: hbfs.NewTraversal(g)}
+	bb := &bnb{g: g, h: h, opts: opts, ctx: opts.ctx, trav: hbfs.NewTraversal(g)}
 	if opts.MaxDuration > 0 {
 		bb.deadline = time.Now().Add(opts.MaxDuration)
 	}
@@ -179,7 +209,7 @@ func exactSolve(g *graph.Graph, h int, opts Options, seed []int) Result {
 	if len(bb.best) == 0 {
 		bb.best = []int{0}
 	}
-	return Result{Club: bb.best, Exact: !bb.budgetHit, Nodes: bb.nodes, SolverCalls: 1}
+	return Result{Club: bb.best, Exact: !bb.budgetHit, Nodes: bb.nodes, SolverCalls: 1}, bb.canceled
 }
 
 // bnb carries the branch-and-bound state.
@@ -187,18 +217,28 @@ type bnb struct {
 	g         *graph.Graph
 	h         int
 	opts      Options
+	ctx       context.Context // nil unless a Ctx entry point armed it
 	trav      *hbfs.Traversal
 	seen      *vset.Set // violatingPair reachability scratch
 	best      []int
 	nodes     int64
 	budgetHit bool
+	canceled  bool
 	deadline  time.Time
 }
 
-// expired reports whether the wall-clock budget ran out (checked every 32
-// nodes to keep the clock off the hot path).
+// expired reports whether the wall-clock budget ran out or the context was
+// canceled (both checked every 32 nodes to keep the clock and the context
+// poll off the hot path).
 func (b *bnb) expired() bool {
-	return !b.deadline.IsZero() && b.nodes%32 == 0 && time.Now().After(b.deadline)
+	if b.nodes%32 != 0 {
+		return false
+	}
+	if b.ctx != nil && b.ctx.Err() != nil {
+		b.canceled = true
+		return true
+	}
+	return !b.deadline.IsZero() && time.Now().After(b.deadline)
 }
 
 func (b *bnb) search(alive *vset.Set, size int) {
@@ -298,9 +338,28 @@ func (b *bnb) violatingPair(alive *vset.Set, size int) (int, int) {
 // N_G[v, h] ∪ {v}, and deleting v afterwards. Neighborhoods no larger than
 // the incumbent are skipped outright.
 func ExactIterative(g *graph.Graph, h int, opts Options) Result {
+	r, _ := exactIterativeSolve(g, h, opts)
+	return r
+}
+
+// ExactIterativeCtx is ExactIterative with cooperative cancellation; the
+// contract matches ExactCtx.
+func ExactIterativeCtx(ctx context.Context, g *graph.Graph, h int, opts Options) (Result, error) {
+	if ctx != nil && ctx.Err() != nil {
+		return Result{}, canceledErr(ctx) // dead on arrival
+	}
+	opts.ctx = ctx
+	r, canceled := exactIterativeSolve(g, h, opts)
+	if canceled {
+		return r, canceledErr(ctx)
+	}
+	return r, nil
+}
+
+func exactIterativeSolve(g *graph.Graph, h int, opts Options) (Result, bool) {
 	n := g.NumVertices()
 	if n == 0 {
-		return Result{Exact: true, SolverCalls: 1}
+		return Result{Exact: true, SolverCalls: 1}, false
 	}
 	res := Result{SolverCalls: 1}
 	var deadline time.Time
@@ -333,9 +392,15 @@ func ExactIterative(g *graph.Graph, h int, opts Options) Result {
 		return order[a] < order[b]
 	})
 	exact := true
+	canceled := false
 	for _, v := range order {
 		if !alive.Contains(v) {
 			continue
+		}
+		if opts.ctx != nil && opts.ctx.Err() != nil {
+			exact = false
+			canceled = true
+			break
 		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			exact = false
@@ -349,13 +414,16 @@ func ExactIterative(g *graph.Graph, h int, opts Options) Result {
 			continue
 		}
 		sub, orig := g.InducedSubgraph(cand)
-		// The incumbent's ids belong to g, not sub; only the budget is
-		// forwarded. The size-based pruning still applies through `best`
-		// via the candidate-size skip above.
-		r := exactSolve(sub, h, Options{MaxNodes: opts.MaxNodes}, nil)
+		// The incumbent's ids belong to g, not sub; only the budget (and
+		// the cancellation context) is forwarded. The size-based pruning
+		// still applies through `best` via the candidate-size skip above.
+		r, subCanceled := exactSolve(sub, h, Options{MaxNodes: opts.MaxNodes, ctx: opts.ctx}, nil)
 		res.Nodes += r.Nodes
 		if !r.Exact {
 			exact = false
+		}
+		if subCanceled {
+			canceled = true
 		}
 		if len(r.Club) > len(best) {
 			best = best[:0]
@@ -367,7 +435,7 @@ func ExactIterative(g *graph.Graph, h int, opts Options) Result {
 	}
 	res.Club = best
 	res.Exact = exact
-	return res
+	return res, canceled
 }
 
 // WithCores is Algorithm 7: wrap a black-box maximum-h-club solver with
@@ -376,9 +444,19 @@ func ExactIterative(g *graph.Graph, h int, opts Options) Result {
 // (Theorem 3), otherwise the search widens to C_{min(k_cur−1, s)} and
 // repeats. decomposition must be a (k,h)-core result for the same h.
 func WithCores(g *graph.Graph, h int, decomposition *core.Result, solver Solver, opts Options) (Result, error) {
+	return WithCoresCtx(context.Background(), g, h, decomposition, solver, opts)
+}
+
+// WithCoresCtx is WithCores (Algorithm 7) with cooperative cancellation:
+// ctx is checked before every core level's solver call, and flows into the
+// built-in solvers (Exact, ExactIterative) through Options, so the inner
+// branch and bound aborts too. On cancellation the best club found so far
+// is returned (Exact=false) with an error wrapping core.ErrCanceled.
+func WithCoresCtx(ctx context.Context, g *graph.Graph, h int, decomposition *core.Result, solver Solver, opts Options) (Result, error) {
 	if decomposition == nil {
 		return Result{}, fmt.Errorf("hclub: nil decomposition")
 	}
+	opts.ctx = ctx
 	if decomposition.H != h {
 		return Result{}, fmt.Errorf("hclub: decomposition computed for h=%d, want h=%d", decomposition.H, h)
 	}
@@ -390,6 +468,10 @@ func WithCores(g *graph.Graph, h int, decomposition *core.Result, solver Solver,
 	sizes := decomposition.CoreSizes()
 	kcur := decomposition.MaxCoreIndex()
 	for {
+		if ctx != nil && ctx.Err() != nil {
+			total.Exact = false
+			return total, canceledErr(ctx)
+		}
 		if len(total.Club) > kcur {
 			// Theorem 3: a club of size > k_cur is globally maximum,
 			// because any larger club would live inside C_{k_cur}.
@@ -423,6 +505,11 @@ func WithCores(g *graph.Graph, h int, decomposition *core.Result, solver Solver,
 		}
 		if !r.Exact {
 			total.Exact = false
+			if ctx != nil && ctx.Err() != nil {
+				// The inner solver gave up because the context fired, not
+				// because its own budget ran out — report the cancellation.
+				return total, canceledErr(ctx)
+			}
 			return total, nil
 		}
 		if kcur == 0 {

@@ -87,10 +87,16 @@ func propagateMax(g *graph.Graph, cur, next []int32) {
 }
 
 // LowerBounds exposes LB1 and LB2 for analysis (Table 4). workers ≤ 0
-// selects NumCPU. Deliberately built from an h-BFS pool and three flat
-// buffers rather than a full Engine: the analysis path needs none of the
-// peeling scratch.
+// selects NumCPU. A nil graph yields empty slices — the analysis helpers
+// are total, mirroring how an empty graph behaves; entry points that must
+// report the misuse (Decompose and the ctx variants) return ErrNilGraph
+// instead. Deliberately built from an h-BFS pool and three flat buffers
+// rather than a full Engine: the analysis path needs none of the peeling
+// scratch.
 func LowerBounds(g *graph.Graph, h, workers int) (lb1, lb2 []int32) {
+	if g == nil {
+		return []int32{}, []int32{}
+	}
 	n := g.NumVertices()
 	pool := hbfs.NewPool(g, workers)
 	var verts []int32
@@ -113,8 +119,12 @@ func LowerBounds(g *graph.Graph, h, workers int) (lb1, lb2 []int32) {
 }
 
 // HDegrees returns deg^h(v) for every vertex of g (all vertices alive).
-// workers ≤ 0 selects NumCPU.
+// workers ≤ 0 selects NumCPU. A nil graph yields an empty slice, like an
+// empty graph.
 func HDegrees(g *graph.Graph, h, workers int) []int32 {
+	if g == nil {
+		return []int32{}
+	}
 	pool := hbfs.NewPool(g, workers)
 	return pool.HDegreesAll(h, nil)
 }

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -253,15 +254,26 @@ func (r *Result) Histogram() []int {
 }
 
 // Decompose computes the (k,h)-core decomposition of g with the configured
-// algorithm. It returns an error for invalid options; the empty graph
-// yields an empty result. Each call builds a fresh Engine; callers that
-// decompose repeatedly (serving workloads, parameter sweeps, dynamic
-// maintenance) should hold a NewEngine and call Engine.Decompose instead.
+// algorithm. It returns an error for invalid options (wrapping the typed
+// sentinels ErrNilGraph, ErrInvalidH, ErrUnknownAlgorithm and
+// ErrBaselineGated); the empty graph yields an empty result. Each call
+// builds a fresh Engine; callers that decompose repeatedly (serving
+// workloads, parameter sweeps, dynamic maintenance) should hold a
+// NewEngine — or, under concurrency, an EnginePool — instead.
 func Decompose(g *graph.Graph, opts Options) (*Result, error) {
+	return DecomposeCtx(context.Background(), g, opts)
+}
+
+// DecomposeCtx is Decompose with cooperative cancellation: the peeling
+// loops, the partition work queue and the h-BFS batch workers all poll ctx
+// (amortized over a few hundred units of work each), so canceling or
+// timing out the context aborts the run promptly. The returned error then
+// wraps both ErrCanceled and the context's own error.
+func DecomposeCtx(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	if g == nil {
-		return nil, fmt.Errorf("core: nil graph")
+		return nil, fmt.Errorf("%w: Decompose", ErrNilGraph)
 	}
-	return NewEngine(g, opts.Workers).Decompose(opts)
+	return NewEngine(g, opts.Workers).DecomposeCtx(ctx, opts)
 }
 
 // interval is one top-down partition of Algorithm 4: core-index range
@@ -323,6 +335,12 @@ type Engine struct {
 	// core index (used by Maintainer after edge deletions: the previous
 	// index bounds the new one from above). nil when unused.
 	seedUB []int32
+
+	// cancel is the cooperative-cancellation broadcast for the current
+	// run, armed per run by DecomposeIntoCtx and polled by the peeling
+	// loops, the interval work queue and (through the hook installed at
+	// construction) the h-BFS pool workers.
+	cancel cancelState
 }
 
 // NewEngine returns an Engine bound to g with a worker pool of the given
@@ -341,6 +359,9 @@ func NewEngine(g *graph.Graph, workers int) *Engine {
 		s.t = t
 		n := len(e.intervals)
 		for {
+			if e.cancel.stop() {
+				return // canceled: leave the rest of the queue unclaimed
+			}
 			i := int(e.cursor.Add(1)) - 1
 			if i >= n {
 				return
@@ -353,6 +374,10 @@ func NewEngine(g *graph.Graph, workers int) *Engine {
 			s.solveInterval(iv.kmin, iv.kmax, e.parUB, e.parLB2)
 		}
 	}
+	// The batch workers poll the same broadcast between chunks, so a
+	// canceled run drains the in-flight batch instead of finishing it; the
+	// closure is bound once here to keep repeat runs allocation-free.
+	e.pool.SetCancel(e.cancel.stop)
 	e.Reset(g)
 	return e
 }
@@ -393,8 +418,14 @@ func growInt32(s []int32, n int) []int32 {
 // Decompose runs one (k,h)-core decomposition and returns a fresh Result.
 // Options.Workers is ignored — the pool size was fixed by NewEngine.
 func (e *Engine) Decompose(opts Options) (*Result, error) {
+	return e.DecomposeCtx(context.Background(), opts)
+}
+
+// DecomposeCtx is Decompose with cooperative cancellation; see
+// DecomposeIntoCtx for the cancellation contract.
+func (e *Engine) DecomposeCtx(ctx context.Context, opts Options) (*Result, error) {
 	res := &Result{}
-	if err := e.DecomposeInto(res, opts); err != nil {
+	if err := e.DecomposeIntoCtx(ctx, res, opts); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -404,19 +435,38 @@ func (e *Engine) Decompose(opts Options) (*Result, error) {
 // reusing res.Core's backing array when its capacity suffices — the
 // zero-allocation path for repeated queries over one graph.
 func (e *Engine) DecomposeInto(res *Result, opts Options) error {
-	defer e.clearSeeds() // seeds apply to exactly one attempt, even a rejected one
+	return e.DecomposeIntoCtx(context.Background(), res, opts)
+}
+
+// DecomposeIntoCtx is DecomposeInto with cooperative cancellation. The
+// peeling loops (every algorithm), the Algorithm 5 upper-bound peel, the
+// partition work queue and the h-BFS batch workers all poll ctx, each
+// amortized over a few hundred units of real work, so a cancellation or
+// deadline aborts the run well within one partition interval. A canceled
+// run returns an error wrapping both ErrCanceled and ctx.Err(), leaves res
+// untouched, and leaves the engine fully reusable: the next run re-derives
+// every piece of state, producing results bit-identical to a fresh
+// engine's. Contexts that can never be canceled (Background, TODO) add no
+// work to the existing zero-allocation happy path.
+func (e *Engine) DecomposeIntoCtx(ctx context.Context, res *Result, opts Options) error {
+	defer e.clearSeeds()     // seeds apply to exactly one attempt, even a rejected one
+	defer e.cancel.release() // don't pin the request's context while the engine idles
 	opts = opts.withDefaults()
 	if opts.H < 1 {
-		return fmt.Errorf("core: invalid distance threshold h=%d (need h ≥ 1)", opts.H)
+		return fmt.Errorf("%w: h=%d (need h ≥ 1)", ErrInvalidH, opts.H)
 	}
 	switch opts.Algorithm {
 	case HBZ, HLB, HLBUB:
 	default:
-		return fmt.Errorf("core: unknown algorithm %d", opts.Algorithm)
+		return fmt.Errorf("%w: Algorithm(%d)", ErrUnknownAlgorithm, int(opts.Algorithm))
 	}
 	if opts.Algorithm == HBZ && !opts.AllowBaseline {
-		return fmt.Errorf("core: h-BZ is the paper's baseline and ~45× slower than h-LB+UB; " +
-			"it is gated off the serving path — set Options.AllowBaseline to run it deliberately")
+		return fmt.Errorf("%w: h-BZ is the paper's baseline and ~45× slower than h-LB+UB; "+
+			"set Options.AllowBaseline to run it deliberately", ErrBaselineGated)
+	}
+	e.cancel.bindRun(ctx)
+	if e.cancel.stop() {
+		return CanceledError(ctx) // dead on arrival: don't touch the engine state
 	}
 	start := time.Now()
 	e.beginRun(opts)
@@ -430,6 +480,9 @@ func (e *Engine) DecomposeInto(res *Result, opts Options) error {
 	}
 	for _, s := range e.sv {
 		e.stats.absorb(&s.stats)
+	}
+	if e.cancel.stop() {
+		return CanceledError(ctx)
 	}
 	n := e.g.NumVertices()
 	if cap(res.Core) < n {
@@ -458,7 +511,7 @@ func (e *Engine) beginRun(opts Options) {
 	e.pool.SetTuning(opts.BatchMin, opts.BatchChunk)
 	e.pool.ResetVisits()
 	s0 := e.sv[0]
-	s0.bind(e.g, e.core, e.h, e.slack, e.pool)
+	s0.bind(e.g, e.core, e.h, e.slack, e.pool, &e.cancel)
 	s0.stats = Stats{}
 	s0.alive.Fill()
 	for i := range e.core {

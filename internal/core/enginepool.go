@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// EnginePool multiplexes any number of caller goroutines onto a fixed
+// fleet of Engines bound to one graph. An Engine is deliberately
+// single-goroutine (it parallelizes internally across its h-BFS workers);
+// the pool is the concurrency front-end serving workloads need on top:
+// Acquire hands out an idle engine (blocking, with ctx-aware bail-out,
+// when the whole fleet is busy), Release returns it, and the Decompose /
+// DecomposeInto conveniences bracket the pair around one run. Every engine
+// keeps its pooled scratch across checkouts, so the per-engine
+// zero-allocation steady state survives the multiplexing — the pool's own
+// bookkeeping is one buffered-channel operation per checkout, which
+// allocates nothing.
+//
+// The fleet is sized at construction: engines × workersPerEngine is the
+// peak h-BFS goroutine count, so a serving deployment typically splits
+// GOMAXPROCS between the two dimensions (many small engines for
+// throughput under concurrent load, few wide engines for latency of
+// individual heavy queries).
+type EnginePool struct {
+	g    *graph.Graph
+	free chan *Engine
+
+	mu      sync.Mutex
+	closed  bool
+	engines []*Engine // the whole fleet, for Close
+}
+
+// NewEnginePool builds a pool of `engines` Engines over g, each with an
+// h-BFS worker pool of workersPerEngine (≤ 0 selects NumCPU, like
+// NewEngine). engines ≤ 0 selects NumCPU. Returns ErrNilGraph for a nil
+// graph.
+func NewEnginePool(g *graph.Graph, engines, workersPerEngine int) (*EnginePool, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: NewEnginePool", ErrNilGraph)
+	}
+	if engines <= 0 {
+		engines = runtime.NumCPU()
+	}
+	p := &EnginePool{
+		g:       g,
+		free:    make(chan *Engine, engines),
+		engines: make([]*Engine, engines),
+	}
+	for i := range p.engines {
+		e := NewEngine(g, workersPerEngine)
+		p.engines[i] = e
+		p.free <- e
+	}
+	return p, nil
+}
+
+// Graph returns the graph the fleet is bound to.
+func (p *EnginePool) Graph() *graph.Graph { return p.g }
+
+// Size returns the number of engines in the fleet.
+func (p *EnginePool) Size() int { return len(p.engines) }
+
+// Acquire checks an idle engine out of the pool, blocking while the whole
+// fleet is busy. It returns an ErrCanceled wrap when ctx is canceled
+// before an engine frees up, and an ErrPoolClosed wrap after Close. The
+// caller owns the engine until Release and must not retain it afterwards.
+func (p *EnginePool) Acquire(ctx context.Context) (*Engine, error) {
+	// Fast path: an idle engine is waiting — no select, no ctx poll.
+	select {
+	case e, ok := <-p.free:
+		if !ok {
+			return nil, fmt.Errorf("%w: Acquire", ErrPoolClosed)
+		}
+		return e, nil
+	default:
+	}
+	select {
+	case e, ok := <-p.free:
+		if !ok {
+			return nil, fmt.Errorf("%w: Acquire", ErrPoolClosed)
+		}
+		return e, nil
+	case <-ctxDone(ctx):
+		return nil, CanceledError(ctx)
+	}
+}
+
+// ctxDone tolerates a nil ctx (treated like Background: never done).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// Release returns an engine obtained from Acquire to the pool. Releasing
+// into a closed pool retires the engine's workers instead. Releasing an
+// engine that did not come from this pool's Acquire corrupts the
+// accounting and panics when it overflows the fleet size.
+func (p *EnginePool) Release(e *Engine) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		e.Close()
+		return
+	}
+	select {
+	case p.free <- e:
+	default:
+		panic("core: EnginePool.Release without a matching Acquire")
+	}
+}
+
+// Decompose acquires an engine, runs one decomposition and releases the
+// engine, returning a fresh Result. Safe for any number of concurrent
+// callers. The ctx governs both the wait for an idle engine and the run
+// itself.
+func (p *EnginePool) Decompose(ctx context.Context, opts Options) (*Result, error) {
+	res := &Result{}
+	if err := p.DecomposeInto(ctx, res, opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DecomposeInto is Decompose writing into a caller-owned Result, reusing
+// res.Core's backing array when its capacity suffices — with a res kept
+// per calling goroutine this is the zero-allocation steady state of the
+// serving path, matching Engine.DecomposeInto.
+func (p *EnginePool) DecomposeInto(ctx context.Context, res *Result, opts Options) error {
+	e, err := p.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer p.Release(e)
+	return e.DecomposeIntoCtx(ctx, res, opts)
+}
+
+// DecomposeSpectrum acquires an engine, computes the full h = 1..maxH
+// spectrum on it and releases it; see Engine.DecomposeSpectrumCtx.
+func (p *EnginePool) DecomposeSpectrum(ctx context.Context, maxH int, opts Options) (*Spectrum, error) {
+	e, err := p.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Release(e)
+	return e.DecomposeSpectrumCtx(ctx, maxH, opts)
+}
+
+// Close retires the fleet: idle engines are closed immediately, checked-out
+// engines when they are released. Waiting and future Acquires fail with
+// ErrPoolClosed. Close is idempotent.
+func (p *EnginePool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	// Drain the idle engines, then close the channel so blocked and future
+	// Acquires observe the shutdown. Checked-out engines are closed by
+	// their Release (which sees p.closed under the same mutex).
+	for {
+		select {
+		case e := <-p.free:
+			e.Close()
+			continue
+		default:
+		}
+		break
+	}
+	close(p.free)
+}

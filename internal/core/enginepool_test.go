@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// TestEnginePoolConcurrentLoad hammers a small fleet from many goroutines
+// and demands every result match the single-threaded reference — under
+// -race in CI this audits the checkout discipline and engine isolation.
+func TestEnginePoolConcurrentLoad(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 7)
+	want, err := Decompose(g, Options{H: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewEnginePool(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var res Result // per-goroutine buffer: the zero-alloc serving shape
+			for j := 0; j < 4; j++ {
+				if err := pool.DecomposeInto(context.Background(), &res, Options{H: 2}); err != nil {
+					errs <- err
+					return
+				}
+				for v := range want.Core {
+					if res.Core[v] != want.Core[v] {
+						errs <- errors.New("core mismatch under concurrent load")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestEnginePoolAcquireBlocksAndCancels pins the Acquire contract: it
+// blocks while the fleet is checked out, honors ctx cancellation while
+// blocked, and hands out the engine once released.
+func TestEnginePoolAcquireBlocksAndCancels(t *testing.T) {
+	g := gen.ErdosRenyi(30, 60, 1)
+	pool, err := NewEnginePool(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	e, err := pool.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Blocked Acquire, canceled: must return ErrCanceled promptly.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := pool.Acquire(ctx); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked acquire: %v", err)
+	}
+
+	// Blocked Acquire, then a release: must receive the engine.
+	got := make(chan error, 1)
+	go func() {
+		e2, err := pool.Acquire(context.Background())
+		if err == nil {
+			pool.Release(e2)
+		}
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	pool.Release(e)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("acquire after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("acquire did not unblock after release")
+	}
+}
+
+// TestEnginePoolCancelMidRunThenReuse is the pool half of the acceptance
+// criterion: cancel a decomposition running through the pool, then demand
+// an uncanceled pool run produce results bit-identical to a fresh engine.
+func TestEnginePoolCancelMidRunThenReuse(t *testing.T) {
+	forceParallel(t)
+	g := gen.BarabasiAlbert(400, 3, 13)
+	want, err := Decompose(g, Options{H: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewEnginePool(g, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	canceled := false
+	for _, polls := range []int64{1, 5, 40} {
+		if _, err := pool.Decompose(newCountdown(polls), Options{H: 2}); err != nil {
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("polls=%d: wrong error %v", polls, err)
+			}
+			canceled = true
+		}
+		res, err := pool.Decompose(context.Background(), Options{H: 2})
+		if err != nil {
+			t.Fatalf("post-cancel pool run: %v", err)
+		}
+		decomposeEqual(t, res.Core, want.Core, "post-cancel pool run")
+	}
+	if !canceled {
+		t.Fatal("no countdown fired mid-run")
+	}
+}
+
+// TestEnginePoolClose pins the shutdown contract.
+func TestEnginePoolClose(t *testing.T) {
+	g := gen.ErdosRenyi(20, 40, 2)
+	pool, err := NewEnginePool(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := pool.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+	pool.Close() // idempotent
+	if _, err := pool.Acquire(context.Background()); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("acquire after close: %v", err)
+	}
+	pool.Release(e) // returning a checked-out engine to a closed pool retires it
+	if _, err := pool.Decompose(context.Background(), Options{H: 2}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("decompose after close: %v", err)
+	}
+}
+
+// TestEnginePoolSteadyStateAllocs keeps the serving path's zero-allocation
+// property through the pool front-end: one warmed engine, a caller-owned
+// Result, and Background context must allocate nothing per query.
+func TestEnginePoolSteadyStateAllocs(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 3, 21)
+	pool, err := NewEnginePool(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	var res Result
+	opts := Options{H: 2}
+	ctx := context.Background()
+	// Warm the engine scratch.
+	for i := 0; i < 3; i++ {
+		if err := pool.DecomposeInto(ctx, &res, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := pool.DecomposeInto(ctx, &res, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pool decompose allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestTypedErrorSentinels pins the error contract: every entry point wraps
+// the matching sentinel, so serving callers can dispatch with errors.Is.
+func TestTypedErrorSentinels(t *testing.T) {
+	g := gen.ErdosRenyi(40, 80, 3)
+	ctx := context.Background()
+
+	t.Run("nil graph", func(t *testing.T) {
+		if _, err := Decompose(nil, Options{H: 2}); !errors.Is(err, ErrNilGraph) {
+			t.Errorf("Decompose(nil): %v", err)
+		}
+		if _, err := DecomposeCtx(ctx, nil, Options{H: 2}); !errors.Is(err, ErrNilGraph) {
+			t.Errorf("DecomposeCtx(nil): %v", err)
+		}
+		if _, err := DecomposeSpectrum(nil, 2, Options{}); !errors.Is(err, ErrNilGraph) {
+			t.Errorf("DecomposeSpectrum(nil): %v", err)
+		}
+		if _, err := NewMaintainer(nil, 2, Options{}); !errors.Is(err, ErrNilGraph) {
+			t.Errorf("NewMaintainer(nil): %v", err)
+		}
+		if _, err := UpperBoundsCtx(ctx, nil, 2, 1); !errors.Is(err, ErrNilGraph) {
+			t.Errorf("UpperBoundsCtx(nil): %v", err)
+		}
+		if err := ValidateCtx(ctx, nil, 2, nil); !errors.Is(err, ErrNilGraph) {
+			t.Errorf("ValidateCtx(nil): %v", err)
+		}
+		if _, err := NewEnginePool(nil, 1, 1); !errors.Is(err, ErrNilGraph) {
+			t.Errorf("NewEnginePool(nil): %v", err)
+		}
+	})
+
+	t.Run("invalid h", func(t *testing.T) {
+		if _, err := Decompose(g, Options{H: -1}); !errors.Is(err, ErrInvalidH) {
+			t.Errorf("H=-1: %v", err)
+		}
+		if _, err := DecomposeSpectrum(g, 0, Options{}); !errors.Is(err, ErrInvalidH) {
+			t.Errorf("maxH=0: %v", err)
+		}
+		if _, err := UpperBoundsCtx(ctx, g, 0, 1); !errors.Is(err, ErrInvalidH) {
+			t.Errorf("UpperBoundsCtx h=0: %v", err)
+		}
+	})
+
+	t.Run("unknown algorithm", func(t *testing.T) {
+		if _, err := Decompose(g, Options{H: 2, Algorithm: Algorithm(99)}); !errors.Is(err, ErrUnknownAlgorithm) {
+			t.Errorf("Algorithm(99): %v", err)
+		}
+	})
+
+	t.Run("baseline gate", func(t *testing.T) {
+		if _, err := Decompose(g, Options{H: 2, Algorithm: HBZ}); !errors.Is(err, ErrBaselineGated) {
+			t.Errorf("HBZ without AllowBaseline: %v", err)
+		}
+		if _, err := Decompose(g, Options{H: 2, Algorithm: HBZ, AllowBaseline: true}); err != nil {
+			t.Errorf("HBZ with AllowBaseline: %v", err)
+		}
+	})
+
+	t.Run("canceled wraps both sentinels", func(t *testing.T) {
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		_, err := DecomposeCtx(cctx, g, Options{H: 2})
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Errorf("pre-canceled ctx: %v", err)
+		}
+		dctx, dcancel := context.WithTimeout(ctx, 0)
+		defer dcancel()
+		_, err = DecomposeCtx(dctx, g, Options{H: 2})
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("expired deadline: %v", err)
+		}
+	})
+}
+
+// TestBoundsHelpersNilGraph pins the satellite fix: the analysis helpers
+// are total over nil graphs (they used to panic).
+func TestBoundsHelpersNilGraph(t *testing.T) {
+	if got := HDegrees(nil, 2, 1); len(got) != 0 {
+		t.Errorf("HDegrees(nil) = %v", got)
+	}
+	lb1, lb2 := LowerBounds(nil, 2, 1)
+	if len(lb1) != 0 || len(lb2) != 0 {
+		t.Errorf("LowerBounds(nil) = %v, %v", lb1, lb2)
+	}
+	if got := UpperBounds(nil, 2, 1); len(got) != 0 {
+		t.Errorf("UpperBounds(nil) = %v", got)
+	}
+}
+
+// TestUpperBoundsCtxMatchesPlain keeps the ctx variant an exact alias of
+// the analysis helper on the happy path, and pins the wrapper's legacy
+// h = 0 → default-2 behavior.
+func TestUpperBoundsCtxMatchesPlain(t *testing.T) {
+	g := gen.BarabasiAlbert(60, 3, 11)
+	want := UpperBounds(g, 2, 1)
+	got, err := UpperBoundsCtx(context.Background(), g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("ub[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+	defaulted := UpperBounds(g, 0, 1)
+	if len(defaulted) != g.NumVertices() {
+		t.Fatalf("UpperBounds(g, 0, 1) returned %d entries, want %d (h=0 must default to 2)",
+			len(defaulted), g.NumVertices())
+	}
+	for v := range want {
+		if defaulted[v] != want[v] {
+			t.Fatalf("defaulted ub[%d] = %d, want %d", v, defaulted[v], want[v])
+		}
+	}
+}

@@ -19,9 +19,14 @@ func (e *Engine) runHBZ() {
 		s.q.insert(v, int(s.deg[v]))
 	}
 
-	// Lines 4–11: peel in increasing h-degree order.
+	// Lines 4–11: peel in increasing h-degree order. Every pop pays a full
+	// Ball plus a batched recomputation, so the cancellation poll runs on
+	// every iteration rather than amortized.
 	k := 0
 	for s.q.Len() > 0 {
+		if e.cancel.stop() {
+			return
+		}
 		v, kv := s.q.PopMin(k)
 		if v < 0 {
 			break

@@ -40,11 +40,17 @@ func (e *Engine) runHLBUB() {
 	// stays honest when an alive mask (or a dead vertex) shrinks the work.
 	e.degH = growInt32(e.degH, n)
 	e.stats.HDegreeComputations += e.pool.HDegrees(e.allVerts(), e.h, e.alive0(), e.degH)
+	if e.cancel.stop() {
+		return // the batch was drained early; nothing downstream may read it
+	}
 	lb2 := e.mergeSeedLB(e.lb2Into(e.lb1Into()))
 
 	// Line 7: upper bounds via implicit power-graph peeling, tightened by
 	// the carried bound when a Maintainer supplies one.
 	ub := e.upperBoundsInto(e.degH)
+	if e.cancel.stop() {
+		return // Algorithm 5 aborted; the bounds are partial
+	}
 	if e.seedUB != nil {
 		for v := range ub {
 			if e.seedUB[v] < ub[v] {
@@ -177,6 +183,9 @@ func (e *Engine) runIntervalsSequential(ub, lb2 []int32) {
 	copy(s.lb3, lb2)
 
 	for _, iv := range e.intervals {
+		if e.cancel.stop() {
+			return // canceled between intervals
+		}
 		kmin, kmax := iv.kmin, iv.kmax
 		s.stats.Partitions++
 
@@ -226,7 +235,7 @@ func (e *Engine) runIntervalsParallel(ub, lb2 []int32) {
 		// nil pool: inside a Run job the batch kernels are off-limits
 		// (worker 0 would deadlock); inter-interval concurrency replaces
 		// intra-batch concurrency here.
-		s.bind(e.g, e.core, e.h, e.slack, nil)
+		s.bind(e.g, e.core, e.h, e.slack, nil, &e.cancel)
 	}
 	e.parUB, e.parLB2 = ub, lb2
 	e.cursor.Store(0)

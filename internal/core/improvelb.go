@@ -77,7 +77,11 @@ func (s *partitionSolver) improveLB(part []int32, kmin, kmax int) {
 			s.inQueue.Add(int(v))
 		}
 	}
+	ops := 0
 	for len(cascade) > 0 {
+		if ops++; ops&cancelCheckMask == 0 && s.cancel.stop() {
+			break // canceled: the half-cleaned partition is never peeled
+		}
 		v := cascade[len(cascade)-1]
 		cascade = cascade[:len(cascade)-1]
 		if !s.alive.Contains(int(v)) {

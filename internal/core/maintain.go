@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -33,18 +34,36 @@ type Maintainer struct {
 	core  []int32
 	edges map[[2]int32]struct{}
 	n     int
+	// stale is raised while an update's re-decomposition is in flight and
+	// cleared on success. After a canceled update the carried indices
+	// describe an older graph, and while they would still bound a
+	// same-direction update, they are unsound for the opposite direction
+	// (e.g. pre-insert indices are no upper bound after a later delete) —
+	// so the next update runs cold, without seeds, and re-establishes
+	// exact indices. staleKey records which edge's update was interrupted,
+	// so only a retry of that exact update is treated as completing it —
+	// a genuinely duplicate insert (or missing delete) of some other edge
+	// still errors while stale.
+	stale    bool
+	staleKey [2]int32
 }
 
 // NewMaintainer decomposes g once (cold) and prepares for updates.
 func NewMaintainer(g *graph.Graph, h int, opts Options) (*Maintainer, error) {
+	return NewMaintainerCtx(context.Background(), g, h, opts)
+}
+
+// NewMaintainerCtx is NewMaintainer with cooperative cancellation of the
+// initial (cold) decomposition.
+func NewMaintainerCtx(ctx context.Context, g *graph.Graph, h int, opts Options) (*Maintainer, error) {
 	if g == nil {
-		return nil, fmt.Errorf("core: nil graph")
+		return nil, fmt.Errorf("%w: NewMaintainer", ErrNilGraph)
 	}
 	opts.H = h
 	opts.Algorithm = HLBUB
 	m := &Maintainer{h: h, opts: opts, g: g, n: g.NumVertices(), edges: make(map[[2]int32]struct{}, g.NumEdges())}
 	m.eng = NewEngine(g, opts.Workers)
-	if err := m.eng.DecomposeInto(&m.res, opts); err != nil {
+	if err := m.eng.DecomposeIntoCtx(ctx, &m.res, opts); err != nil {
 		return nil, err
 	}
 	m.core = make([]int32, len(m.res.Core))
@@ -64,6 +83,23 @@ func NewMaintainer(g *graph.Graph, h int, opts Options) (*Maintainer, error) {
 // Graph returns the current graph.
 func (m *Maintainer) Graph() *graph.Graph { return m.g }
 
+// Stale reports whether a canceled update left the indices describing an
+// older graph. Refresh (or any successful update, including a retry of
+// the interrupted one) restores exactness.
+func (m *Maintainer) Stale() bool { return m.stale }
+
+// Refresh re-establishes exact indices after a canceled update by running
+// the owed decomposition cold. It is a no-op when the maintainer is not
+// stale.
+func (m *Maintainer) Refresh(ctx context.Context) error {
+	if !m.stale {
+		return nil
+	}
+	// stale is set, so redecompose skips the (unsound) seeds; the insert
+	// direction flag is therefore irrelevant.
+	return m.redecompose(ctx, true)
+}
+
 // Core returns the current core index of every vertex (a fresh slice).
 func (m *Maintainer) Core() []int {
 	out := make([]int, len(m.core))
@@ -77,11 +113,26 @@ func (m *Maintainer) Core() []int {
 // needed) and refreshes the decomposition with the previous indices as
 // lower bounds. Inserting an existing edge or a self-loop is an error.
 func (m *Maintainer) InsertEdge(u, v int) error {
+	return m.InsertEdgeCtx(context.Background(), u, v)
+}
+
+// InsertEdgeCtx is InsertEdge with cooperative cancellation of the warm
+// re-decomposition. A canceled update leaves the edge set updated but the
+// decomposition stale: the Maintainer recovers by re-running the update's
+// decomposition cold on the next successful call, because the carried
+// bounds are only reused after a completed run.
+func (m *Maintainer) InsertEdgeCtx(ctx context.Context, u, v int) error {
 	key, err := m.normalize(u, v)
 	if err != nil {
 		return err
 	}
 	if _, dup := m.edges[key]; dup {
+		if m.stale && key == m.staleKey {
+			// This exact edge landed in a previous, canceled attempt: the
+			// graph already contains it and only the re-decomposition is
+			// owed. Treat the retry as completing that pending update.
+			return m.redecompose(ctx, true)
+		}
 		return fmt.Errorf("core: edge {%d,%d} already present", u, v)
 	}
 	m.edges[key] = struct{}{}
@@ -89,23 +140,36 @@ func (m *Maintainer) InsertEdge(u, v int) error {
 		m.n = int(key[1]) + 1
 	}
 	m.rebuild()
-	return m.redecompose(true)
+	m.staleKey = key
+	return m.redecompose(ctx, true)
 }
 
 // DeleteEdge removes the undirected edge {u, v} and refreshes the
 // decomposition with the previous indices as upper bounds. Deleting a
 // missing edge is an error; vertices are never removed.
 func (m *Maintainer) DeleteEdge(u, v int) error {
+	return m.DeleteEdgeCtx(context.Background(), u, v)
+}
+
+// DeleteEdgeCtx is DeleteEdge with cooperative cancellation of the warm
+// re-decomposition; see InsertEdgeCtx for the recovery contract.
+func (m *Maintainer) DeleteEdgeCtx(ctx context.Context, u, v int) error {
 	key, err := m.normalize(u, v)
 	if err != nil {
 		return err
 	}
 	if _, ok := m.edges[key]; !ok {
+		if m.stale && key == m.staleKey {
+			// Symmetric to InsertEdgeCtx: this deletion was committed by a
+			// canceled attempt; complete the owed re-decomposition.
+			return m.redecompose(ctx, false)
+		}
 		return fmt.Errorf("core: edge {%d,%d} not present", u, v)
 	}
 	delete(m.edges, key)
 	m.rebuild()
-	return m.redecompose(false)
+	m.staleKey = key
+	return m.redecompose(ctx, false)
 }
 
 func (m *Maintainer) normalize(u, v int) ([2]int32, error) {
@@ -136,20 +200,24 @@ func (m *Maintainer) rebuild() {
 	m.g = b.Build()
 }
 
-func (m *Maintainer) redecompose(insert bool) error {
+func (m *Maintainer) redecompose(ctx context.Context, insert bool) error {
 	m.eng.Reset(m.g)
 	// Grow the carried bounds if the vertex set expanded.
 	for len(m.core) < m.g.NumVertices() {
 		m.core = append(m.core, 0)
 	}
-	if insert {
-		m.eng.seedLB = m.core
-	} else {
-		m.eng.seedUB = m.core
+	if !m.stale {
+		if insert {
+			m.eng.seedLB = m.core
+		} else {
+			m.eng.seedUB = m.core
+		}
 	}
-	if err := m.eng.DecomposeInto(&m.res, m.opts); err != nil {
+	m.stale = true
+	if err := m.eng.DecomposeIntoCtx(ctx, &m.res, m.opts); err != nil {
 		return err
 	}
+	m.stale = false
 	m.core = m.core[:0]
 	for _, c := range m.res.Core {
 		m.core = append(m.core, int32(c))

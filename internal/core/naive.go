@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -122,6 +123,28 @@ func NaiveDecompose(g *graph.Graph, h int) []int {
 // runs on the plain reference BFS, independent of the optimized kernels it
 // is auditing.
 func Validate(g *graph.Graph, h int, core []int) error {
+	return ValidateCtx(context.Background(), g, h, core)
+}
+
+// ValidateCtx is Validate with cooperative cancellation: the verifier is
+// O(n²) reference BFS runs in the worst case, so serving paths that audit
+// third-party results should bound it with a deadline. ctx is polled once
+// per cancelCheckMask+1 reference h-degree computations; on cancellation
+// the error wraps ErrCanceled and ctx.Err().
+func ValidateCtx(ctx context.Context, g *graph.Graph, h int, core []int) error {
+	if g == nil {
+		return fmt.Errorf("%w: Validate", ErrNilGraph)
+	}
+	var cancel cancelState
+	cancel.bindRun(ctx)
+	if cancel.stop() {
+		return CanceledError(ctx)
+	}
+	ops := 0
+	stop := func() bool {
+		ops++
+		return ops&cancelCheckMask == 0 && cancel.stop()
+	}
 	n := g.NumVertices()
 	if len(core) != n {
 		return fmt.Errorf("core: Validate: got %d indices for %d vertices", len(core), n)
@@ -156,6 +179,9 @@ func Validate(g *graph.Graph, h int, core []int) error {
 		}
 		for v := 0; v < n; v++ {
 			if alive.Contains(v) {
+				if stop() {
+					return CanceledError(ctx)
+				}
 				if d := b.hDegree(g, v, h, alive); d < k {
 					return fmt.Errorf("core: Validate: vertex %d claims core ≥ %d but has h-degree %d in C_%d", v, k, d, k)
 				}
@@ -183,7 +209,13 @@ func Validate(g *graph.Graph, h int, core []int) error {
 		for {
 			removed := false
 			for v := 0; v < n; v++ {
-				if alive.Contains(v) && b.hDegree(g, v, h, alive) < k+1 {
+				if !alive.Contains(v) {
+					continue
+				}
+				if stop() {
+					return CanceledError(ctx)
+				}
+				if b.hDegree(g, v, h, alive) < k+1 {
 					alive.Remove(v)
 					removed = true
 				}

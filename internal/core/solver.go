@@ -36,6 +36,9 @@ type partitionSolver struct {
 	h     int
 	slack int // lazy-recount headroom (Options.LazyCapSlack)
 	stats Stats
+	// cancel is the engine's per-run cancellation broadcast; the peeling
+	// and cleaning loops poll it, amortized by cancelCheckMask.
+	cancel *cancelState
 
 	// alive marks vertices present in the current (sub)graph.
 	alive *vset.Set
@@ -87,13 +90,14 @@ func newPartitionSolver() *partitionSolver {
 // every set and sizing every array, reusing capacity whenever it suffices.
 // pool is non-nil only for the sequential solver (see the field comment);
 // when it is set the solver also borrows the pool's worker-0 traversal.
-func (s *partitionSolver) bind(g *graph.Graph, core []int32, h, slack int, pool *hbfs.Pool) {
+func (s *partitionSolver) bind(g *graph.Graph, core []int32, h, slack int, pool *hbfs.Pool, cancel *cancelState) {
 	n := g.NumVertices()
 	s.g = g
 	s.core = core
 	s.h = h
 	s.slack = slack
 	s.pool = pool
+	s.cancel = cancel
 	if pool != nil {
 		s.t = pool.Traversal(0)
 	}
@@ -128,7 +132,10 @@ func (s *partitionSolver) hdegCappedBatch(verts []int32, cap int) int64 {
 		return s.pool.HDegreesCapped(verts, s.h, s.alive, cap, s.deg)
 	}
 	var evaluated int64
-	for _, v := range verts {
+	for i, v := range verts {
+		if i&cancelCheckMask == 0 && s.cancel.stop() {
+			break // abandoned run: the partial sweep is never read
+		}
 		if s.alive.Contains(int(v)) {
 			evaluated++
 		}
@@ -256,8 +263,12 @@ func (s *partitionSolver) coreDecomp(kmin, kmax int) {
 		kmax = s.q.MaxKey()
 	}
 	t := s.t
+	ops := 0
 	for k := start; k <= kmax; k++ {
 		for {
+			if ops++; ops&cancelCheckMask == 0 && s.cancel.stop() {
+				return // canceled mid-peel: the run is abandoned wholesale
+			}
 			v := s.q.PopFrom(k)
 			if v < 0 {
 				break

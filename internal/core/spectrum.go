@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -35,10 +36,18 @@ func (s *Spectrum) Vector(v int) []int {
 // h = 1..maxH in one pass through a throwaway Engine; see
 // Engine.DecomposeSpectrum.
 func DecomposeSpectrum(g *graph.Graph, maxH int, opts Options) (*Spectrum, error) {
+	return DecomposeSpectrumCtx(context.Background(), g, maxH, opts)
+}
+
+// DecomposeSpectrumCtx is DecomposeSpectrum with cooperative cancellation:
+// ctx is re-checked by every per-level decomposition at the granularity of
+// DecomposeIntoCtx, so a deadline covers the whole sweep rather than one
+// level. On cancellation the error wraps ErrCanceled and ctx.Err().
+func DecomposeSpectrumCtx(ctx context.Context, g *graph.Graph, maxH int, opts Options) (*Spectrum, error) {
 	if g == nil {
-		return nil, fmt.Errorf("core: nil graph")
+		return nil, fmt.Errorf("%w: DecomposeSpectrum", ErrNilGraph)
 	}
-	return NewEngine(g, opts.Workers).DecomposeSpectrum(maxH, opts)
+	return NewEngine(g, opts.Workers).DecomposeSpectrumCtx(ctx, maxH, opts)
 }
 
 // DecomposeSpectrum computes the (k,h)-core decomposition for every
@@ -52,8 +61,14 @@ func DecomposeSpectrum(g *graph.Graph, maxH int, opts Options) (*Spectrum, error
 // here) or HLBUB for the per-level solver, and HBZ disables the
 // cross-level seeding (baseline behaviour).
 func (e *Engine) DecomposeSpectrum(maxH int, opts Options) (*Spectrum, error) {
+	return e.DecomposeSpectrumCtx(context.Background(), maxH, opts)
+}
+
+// DecomposeSpectrumCtx is Engine.DecomposeSpectrum with cooperative
+// cancellation; see the package-level DecomposeSpectrumCtx.
+func (e *Engine) DecomposeSpectrumCtx(ctx context.Context, maxH int, opts Options) (*Spectrum, error) {
 	if maxH < 1 {
-		return nil, fmt.Errorf("core: invalid maxH=%d", maxH)
+		return nil, fmt.Errorf("%w: maxH=%d (need maxH ≥ 1)", ErrInvalidH, maxH)
 	}
 	sp := &Spectrum{MaxH: maxH, Core: make([][]int, maxH)}
 	var prev []int32
@@ -63,7 +78,7 @@ func (e *Engine) DecomposeSpectrum(maxH int, opts Options) (*Spectrum, error) {
 		o.H = h
 		e.seedLB = prev
 		res.Core = nil // each level keeps its own output slice
-		if err := e.DecomposeInto(&res, o); err != nil {
+		if err := e.DecomposeIntoCtx(ctx, &res, o); err != nil {
 			return nil, err
 		}
 		sp.Core[h-1] = res.Core

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/graph"
 )
 
@@ -35,7 +38,11 @@ func (e *Engine) upperBoundsInto(degH []int32) []int32 {
 	}
 	t := e.trav()
 	k := 0
+	ops := 0
 	for q.Len() > 0 {
+		if ops++; ops&cancelCheckMask == 0 && e.cancel.stop() {
+			break // Algorithm 5 is the serial prefix; cancel it promptly too
+		}
 		v, kv := q.PopMin(k)
 		if v < 0 {
 			break
@@ -65,15 +72,46 @@ func (e *Engine) upperBoundsInto(degH []int32) []int32 {
 }
 
 // UpperBounds exposes Algorithm 5 for analysis (Table 4): the core-index
-// upper bound of every vertex. workers ≤ 0 selects NumCPU.
+// upper bound of every vertex. workers ≤ 0 selects NumCPU, h = 0 selects
+// the default distance threshold 2 (matching Options.withDefaults, as
+// this helper always did). A nil graph — or a negative h — yields an
+// empty slice; UpperBoundsCtx reports those as typed errors instead.
 func UpperBounds(g *graph.Graph, h, workers int) []int32 {
+	if h == 0 {
+		h = 2
+	}
+	out, err := UpperBoundsCtx(context.Background(), g, h, workers)
+	if err != nil {
+		return []int32{}
+	}
+	return out
+}
+
+// UpperBoundsCtx is UpperBounds with cooperative cancellation and the
+// typed-error contract: ErrNilGraph for a nil graph, ErrInvalidH for
+// h < 1, and an ErrCanceled wrap when ctx cancels the implicit power-graph
+// peel (whose O(n) h-BFS runs make this the expensive analysis helper).
+func UpperBoundsCtx(ctx context.Context, g *graph.Graph, h, workers int) ([]int32, error) {
+	if g == nil {
+		return nil, fmt.Errorf("%w: UpperBounds", ErrNilGraph)
+	}
+	if h < 1 {
+		return nil, fmt.Errorf("%w: h=%d (need h ≥ 1)", ErrInvalidH, h)
+	}
 	e := NewEngine(g, workers)
+	e.cancel.bindRun(ctx)
+	if e.cancel.stop() {
+		return nil, CanceledError(ctx)
+	}
 	e.beginRun(Options{H: h}.withDefaults())
 	e.degH = growInt32(e.degH, g.NumVertices())
 	e.pool.HDegrees(e.allVerts(), e.h, e.alive0(), e.degH)
 	out := make([]int32, g.NumVertices())
 	copy(out, e.upperBoundsInto(e.degH))
-	return out
+	if e.cancel.stop() {
+		return nil, CanceledError(ctx)
+	}
+	return out, nil
 }
 
 // PowerPeelingOrder runs Algorithm 5 and returns the order in which the

@@ -47,13 +47,19 @@ func Table6(cfg Config) ([]Table6Row, error) {
 			row := Table6Row{Dataset: name, H: h, Exact: true}
 
 			start := time.Now()
-			direct := hclub.Exact(g, h, solverOpts)
+			direct, err := hclub.ExactCtx(cfg.context(), g, h, solverOpts)
+			if err != nil {
+				return nil, err
+			}
 			row.Direct = time.Since(start)
 			row.DirectNodes = direct.Nodes
 			row.Exact = row.Exact && direct.Exact
 
 			start = time.Now()
-			directIter := hclub.ExactIterative(g, h, solverOpts)
+			directIter, err := hclub.ExactIterativeCtx(cfg.context(), g, h, solverOpts)
+			if err != nil {
+				return nil, err
+			}
 			row.DirectIter = time.Since(start)
 			row.Exact = row.Exact && directIter.Exact
 
@@ -67,7 +73,7 @@ func Table6(cfg Config) ([]Table6Row, error) {
 			decDur := time.Since(start)
 
 			start = time.Now()
-			wrapped, err := hclub.WithCores(g, h, dec, hclub.Exact, solverOpts)
+			wrapped, err := hclub.WithCoresCtx(cfg.context(), g, h, dec, hclub.Exact, solverOpts)
 			if err != nil {
 				return nil, err
 			}
@@ -76,7 +82,7 @@ func Table6(cfg Config) ([]Table6Row, error) {
 			row.Exact = row.Exact && wrapped.Exact
 
 			start = time.Now()
-			wrappedIter, err := hclub.WithCores(g, h, dec, hclub.ExactIterative, solverOpts)
+			wrappedIter, err := hclub.WithCoresCtx(cfg.context(), g, h, dec, hclub.ExactIterative, solverOpts)
 			if err != nil {
 				return nil, err
 			}

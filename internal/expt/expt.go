@@ -7,6 +7,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -44,6 +45,20 @@ type Config struct {
 	Reps int
 	// Seed drives all sampling.
 	Seed uint64
+
+	// ctx bounds every decomposition and h-club solver invocation the
+	// harness runs; nil means Background. Unexported and set by RunCtx /
+	// RunAllCtx (khexp's -timeout), so the Config literal zero value keeps
+	// its existing meaning.
+	ctx context.Context
+}
+
+// context resolves the harness's cancellation context.
+func (c Config) context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 func (c Config) withDefaults() Config {
@@ -96,7 +111,7 @@ func (c Config) load(name string) (*graph.Graph, error) {
 // decompose runs a decomposition with wall-clock timing. The harness
 // reproduces the paper's ablations, so the h-BZ baseline is always allowed.
 func (c Config) decompose(g *graph.Graph, h int, alg core.Algorithm) (*core.Result, error) {
-	return core.Decompose(g, core.Options{H: h, Algorithm: alg, Workers: c.Workers, AllowBaseline: true})
+	return core.DecomposeCtx(c.context(), g, core.Options{H: h, Algorithm: alg, Workers: c.Workers, AllowBaseline: true})
 }
 
 // Table is a rendered experiment artifact.

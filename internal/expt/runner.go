@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -41,10 +42,19 @@ func render(t *Table, err error) (*Table, error) {
 
 // Run executes one experiment by id and writes its rendered table to w.
 func Run(id string, cfg Config, w io.Writer) error {
+	return RunCtx(context.Background(), id, cfg, w)
+}
+
+// RunCtx is Run with cooperative cancellation: ctx bounds every
+// decomposition and h-club solver call the experiment performs (khexp's
+// -timeout flag), so a long dataset run aborts with an ErrCanceled wrap
+// instead of needing SIGKILL.
+func RunCtx(ctx context.Context, id string, cfg Config, w io.Writer) error {
 	fn, ok := runners[id]
 	if !ok {
 		return fmt.Errorf("expt: unknown experiment %q (known: %v)", id, IDs())
 	}
+	cfg.ctx = ctx
 	t, err := fn(cfg)
 	if err != nil {
 		return fmt.Errorf("expt: %s: %w", id, err)
@@ -54,12 +64,18 @@ func Run(id string, cfg Config, w io.Writer) error {
 
 // RunAll executes every experiment in paper order.
 func RunAll(cfg Config, w io.Writer) error {
+	return RunAllCtx(context.Background(), cfg, w)
+}
+
+// RunAllCtx is RunAll under one shared cancellation context: the deadline
+// covers the whole sweep.
+func RunAllCtx(ctx context.Context, cfg Config, w io.Writer) error {
 	order := []string{
 		"table1", "table2", "table3", "table4", "table5",
 		"fig3", "fig4", "fig5", "table6", "table7", "fig6", "fig7",
 	}
 	for _, id := range order {
-		if err := Run(id, cfg, w); err != nil {
+		if err := RunCtx(ctx, id, cfg, w); err != nil {
 			return err
 		}
 	}

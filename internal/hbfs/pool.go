@@ -68,6 +68,14 @@ type poolShared struct {
 	// under the same wake/wg ordering as the batch fields.
 	job func(worker int, t *Traversal)
 
+	// cancelFn, when non-nil, is polled by every worker between batch
+	// chunks; a true return makes the worker abandon the rest of the
+	// batch. Set once (SetCancel) before any batch runs — the owner
+	// (core.Engine) installs a check against its per-run cancellation
+	// broadcast, so a canceled decomposition drains an in-flight batch
+	// within one chunk per worker instead of finishing it.
+	cancelFn func() bool
+
 	cursor    atomic.Int64
 	evaluated atomic.Int64
 	wg        sync.WaitGroup
@@ -125,6 +133,15 @@ func (p *Pool) SetTuning(batchMin, batchChunk int) {
 	p.s.batchChunk = int64(batchChunk)
 }
 
+// SetCancel installs a cancellation probe polled by every worker between
+// batch chunks (and by the inline small-batch path every chunk's worth of
+// sources): when fn reports true, workers abandon the remainder of the
+// batch, leaving the unvisited entries of the output array stale. fn must
+// be safe for concurrent use and cheap; nil removes the probe. Must be set
+// while no batch or Run job is in flight — typically once, at pool-owner
+// construction.
+func (p *Pool) SetCancel(fn func() bool) { p.s.cancelFn = fn }
+
 // Reset re-binds every worker traversal to g, reusing scratch capacity.
 // Must not be called while a batch is in flight (helpers are parked
 // between batches, so calls between batches are safe).
@@ -181,12 +198,16 @@ func helperLoop(s *poolShared) {
 	}
 }
 
-// run drains batch chunks via the atomic cursor until the batch is empty.
+// run drains batch chunks via the atomic cursor until the batch is empty
+// (or the owner's cancellation probe fires).
 func (s *poolShared) run(t *Traversal) {
 	n := int64(len(s.verts))
 	chunk := s.batchChunk
 	var evaluated int64
 	for {
+		if s.cancelFn != nil && s.cancelFn() {
+			break
+		}
 		start := s.cursor.Add(chunk) - chunk
 		if start >= n {
 			break
@@ -290,7 +311,10 @@ func (p *Pool) batch(verts []int32, h int, alive *vset.Set, out []int32, cap int
 	if s.workers == 1 || s.closed || len(verts) < s.batchMin {
 		t := s.travs[0]
 		var evaluated int64
-		for _, v := range verts {
+		for i, v := range verts {
+			if int64(i)%s.batchChunk == 0 && s.cancelFn != nil && s.cancelFn() {
+				break
+			}
 			if alive == nil || alive.Contains(int(v)) {
 				evaluated++
 			}

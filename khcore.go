@@ -26,10 +26,34 @@
 package khcore
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+)
+
+// The typed errors of the serving contract. Every entry point wraps one of
+// these, so callers dispatch with errors.Is instead of matching message
+// strings:
+//
+//	res, err := khcore.DecomposeCtx(ctx, g, opts)
+//	switch {
+//	case errors.Is(err, khcore.ErrCanceled):        // ctx canceled or deadline hit
+//	case errors.Is(err, khcore.ErrInvalidH):        // reject the request as malformed
+//	case errors.Is(err, khcore.ErrBaselineGated):   // h-BZ without AllowBaseline
+//	}
+//
+// ErrCanceled errors additionally wrap the context's own error, so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) distinguish cancellation from timeout.
+var (
+	ErrNilGraph         = core.ErrNilGraph
+	ErrInvalidH         = core.ErrInvalidH
+	ErrUnknownAlgorithm = core.ErrUnknownAlgorithm
+	ErrBaselineGated    = core.ErrBaselineGated
+	ErrCanceled         = core.ErrCanceled
+	ErrPoolClosed       = core.ErrPoolClosed
 )
 
 // Graph is an immutable undirected, unweighted graph in compressed
@@ -98,6 +122,16 @@ func Decompose(g *Graph, opts Options) (*Result, error) {
 	return core.Decompose(g, opts)
 }
 
+// DecomposeCtx is Decompose with cooperative cancellation: the peeling
+// loops, the partition work queue and the h-BFS batch workers poll ctx, so
+// a canceled or expired context aborts the run promptly (well within one
+// partition interval on the h-LB+UB path). The returned error wraps both
+// ErrCanceled and ctx.Err(). This is the serving entry point for one-shot
+// queries; repeated queries should go through an Engine or EnginePool.
+func DecomposeCtx(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	return core.DecomposeCtx(ctx, g, opts)
+}
+
 // Engine is a reusable decomposition context bound to one graph: it owns
 // the h-BFS traversal pool and one solver arena per worker — the packed
 // vertex sets, the bucket queue and every scratch array the algorithms
@@ -105,8 +139,13 @@ func Decompose(g *Graph, opts Options) (*Result, error) {
 // point for serving workloads: repeated Engine.DecomposeInto calls
 // allocate nothing in the steady state, including on the parallel h-LB+UB
 // path, where each package-level Decompose call rebuilds the whole
-// working set. An Engine is NOT safe for concurrent use; create one per
-// goroutine (the engine parallelizes internally across its workers).
+// working set. An Engine is NOT safe for concurrent use; under
+// concurrency, multiplex callers over a fleet of engines with an
+// EnginePool (the engine itself parallelizes internally across its
+// workers). The ctx-aware methods (DecomposeCtx, DecomposeIntoCtx,
+// DecomposeSpectrumCtx) add cooperative cancellation: a canceled run
+// returns an ErrCanceled wrap and leaves the engine fully reusable — the
+// next run produces results bit-identical to a fresh engine's.
 type Engine = core.Engine
 
 // NewEngine returns an Engine bound to g with an h-BFS worker pool of the
@@ -117,23 +156,52 @@ func NewEngine(g *Graph, workers int) *Engine {
 	return core.NewEngine(g, workers)
 }
 
+// EnginePool is the concurrent-safe serving front-end: a fixed fleet of
+// Engines bound to one graph, multiplexing any number of caller goroutines
+// through ctx-aware Acquire/Release (or the Decompose / DecomposeInto /
+// DecomposeSpectrum conveniences that bracket them). Each engine keeps its
+// pooled scratch across checkouts, so the per-engine zero-allocation
+// steady state survives the multiplexing.
+type EnginePool = core.EnginePool
+
+// NewEnginePool builds a pool of `engines` Engines over g (engines ≤ 0
+// selects NumCPU), each with an h-BFS worker pool of workersPerEngine
+// (≤ 0 selects NumCPU). engines × workersPerEngine is the peak goroutine
+// count: favor many single-worker engines for throughput under concurrent
+// load, few wide engines for the latency of individual heavy queries.
+func NewEnginePool(g *Graph, engines, workersPerEngine int) (*EnginePool, error) {
+	return core.NewEnginePool(g, engines, workersPerEngine)
+}
+
 // HDegrees returns deg^h(v) — the number of vertices within distance h —
-// for every vertex of g. workers ≤ 0 selects NumCPU.
+// for every vertex of g. workers ≤ 0 selects NumCPU. A nil graph yields an
+// empty slice, like an empty graph.
 func HDegrees(g *Graph, h, workers int) []int32 {
 	return core.HDegrees(g, h, workers)
 }
 
 // LowerBounds returns the paper's LB1 and LB2 per-vertex lower bounds on
-// the (k,h)-core index (Observations 1–2).
+// the (k,h)-core index (Observations 1–2). A nil graph yields empty
+// slices.
 func LowerBounds(g *Graph, h, workers int) (lb1, lb2 []int32) {
 	return core.LowerBounds(g, h, workers)
 }
 
 // UpperBounds returns the Algorithm 5 per-vertex upper bound on the
 // (k,h)-core index — the classic core index of the power graph G^h,
-// computed without materializing G^h.
+// computed without materializing G^h. h = 0 selects the default threshold
+// 2; a nil graph yields an empty slice. UpperBoundsCtx reports misuse as
+// typed errors (and supports cancellation) instead.
 func UpperBounds(g *Graph, h, workers int) []int32 {
 	return core.UpperBounds(g, h, workers)
+}
+
+// UpperBoundsCtx is UpperBounds with cooperative cancellation and the
+// typed-error contract (ErrNilGraph, ErrInvalidH, ErrCanceled) — the
+// implicit power-graph peel runs one h-BFS per vertex, so serving paths
+// should bound it with a deadline.
+func UpperBoundsCtx(ctx context.Context, g *Graph, h, workers int) ([]int32, error) {
+	return core.UpperBoundsCtx(ctx, g, h, workers)
 }
 
 // Validate independently verifies that indices is a correct (k,h)-core
@@ -142,6 +210,14 @@ func UpperBounds(g *Graph, h, workers int) []int32 {
 // slower than Decompose.
 func Validate(g *Graph, h int, indices []int) error {
 	return core.Validate(g, h, indices)
+}
+
+// ValidateCtx is Validate with cooperative cancellation: the verifier is
+// O(n²) reference BFS runs in the worst case, so callers auditing
+// untrusted results should bound it with a deadline. On cancellation the
+// error wraps ErrCanceled and ctx.Err().
+func ValidateCtx(ctx context.Context, g *Graph, h int, indices []int) error {
+	return core.ValidateCtx(ctx, g, h, indices)
 }
 
 // Spectrum holds the (k,h)-core indices of every vertex for all
@@ -159,15 +235,31 @@ func DecomposeSpectrum(g *Graph, maxH int, opts Options) (*Spectrum, error) {
 	return core.DecomposeSpectrum(g, maxH, opts)
 }
 
+// DecomposeSpectrumCtx is DecomposeSpectrum with cooperative cancellation:
+// a deadline covers the whole h = 1..maxH sweep, with every level's run
+// polling ctx at decomposition granularity.
+func DecomposeSpectrumCtx(ctx context.Context, g *Graph, maxH int, opts Options) (*Spectrum, error) {
+	return core.DecomposeSpectrumCtx(ctx, g, maxH, opts)
+}
+
 // Maintainer keeps a (k,h)-core decomposition current across edge
 // insertions and deletions, re-decomposing with warm per-vertex bounds
 // (previous indices are lower bounds after inserts, upper bounds after
-// deletes). Results after every update are exact.
+// deletes). Results after every update are exact. The InsertEdgeCtx /
+// DeleteEdgeCtx variants cancel the update's re-decomposition
+// cooperatively; after a canceled update the next one runs cold (unseeded)
+// and restores exact indices.
 type Maintainer = core.Maintainer
 
 // NewMaintainer decomposes g once and prepares for dynamic edge updates.
 func NewMaintainer(g *Graph, h int, opts Options) (*Maintainer, error) {
 	return core.NewMaintainer(g, h, opts)
+}
+
+// NewMaintainerCtx is NewMaintainer with cooperative cancellation of the
+// initial (cold) decomposition.
+func NewMaintainerCtx(ctx context.Context, g *Graph, h int, opts Options) (*Maintainer, error) {
+	return core.NewMaintainerCtx(ctx, g, h, opts)
 }
 
 // Hierarchy is the forest of nested connected core components; see

@@ -1,6 +1,8 @@
 package khcore_test
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -173,5 +175,57 @@ func TestGeneratorsThroughAPI(t *testing.T) {
 	}
 	if _, err := khcore.LoadDataset("bogus"); err == nil {
 		t.Fatal("bogus dataset accepted")
+	}
+}
+
+// TestServingContractThroughAPI pins the re-exported typed errors and the
+// ctx-aware entry points at the public surface.
+func TestServingContractThroughAPI(t *testing.T) {
+	g := khcore.PaperGraph()
+
+	if _, err := khcore.Decompose(nil, khcore.Options{H: 2}); !errors.Is(err, khcore.ErrNilGraph) {
+		t.Errorf("Decompose(nil): %v", err)
+	}
+	if _, err := khcore.Decompose(g, khcore.Options{H: -3}); !errors.Is(err, khcore.ErrInvalidH) {
+		t.Errorf("invalid h: %v", err)
+	}
+	if _, err := khcore.Decompose(g, khcore.Options{H: 2, Algorithm: khcore.HBZ}); !errors.Is(err, khcore.ErrBaselineGated) {
+		t.Errorf("baseline gate: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := khcore.DecomposeCtx(ctx, g, khcore.Options{H: 2}); !errors.Is(err, khcore.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled ctx: %v", err)
+	}
+	if _, err := khcore.DecomposeSpectrumCtx(ctx, g, 2, khcore.Options{}); !errors.Is(err, khcore.ErrCanceled) {
+		t.Errorf("canceled spectrum: %v", err)
+	}
+	if err := khcore.ValidateCtx(ctx, g, 2, make([]int, g.NumVertices())); !errors.Is(err, khcore.ErrCanceled) {
+		t.Errorf("canceled validate: %v", err)
+	}
+	if _, err := khcore.UpperBoundsCtx(ctx, g, 2, 1); !errors.Is(err, khcore.ErrCanceled) {
+		t.Errorf("canceled upper bounds: %v", err)
+	}
+	if _, err := khcore.MaxHClubCtx(ctx, g, 2, khcore.HClubOptions{}); !errors.Is(err, khcore.ErrCanceled) {
+		t.Errorf("canceled h-club: %v", err)
+	}
+
+	// The EnginePool round-trip with the happy-path context.
+	pool, err := khcore.NewEnginePool(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	res, err := pool.Decompose(context.Background(), khcore.Options{H: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := khcore.Decompose(g, khcore.Options{H: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxCoreIndex() != want.MaxCoreIndex() {
+		t.Errorf("pool result mismatch: %d vs %d", res.MaxCoreIndex(), want.MaxCoreIndex())
 	}
 }
