@@ -142,14 +142,24 @@ type Bench struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (anything beyond the three
+	// standard ones), e.g. the per-phase wall-times the engine benchmarks
+	// report as "phase-ub-ns/op".
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Scaling is the worker-scaling record of one benchmark family: the
-// geometric-mean ns/op at each worker count and the speedup of every
-// worker count over the single-worker run.
+// geometric-mean ns/op at each worker count, the speedup of every worker
+// count over the single-worker run, and — when the family reports custom
+// per-phase metrics ("phase-*-ns/op") — the phase wall-time breakdown per
+// worker count, i.e. the Amdahl split recorded directly.
 type Scaling struct {
 	NsPerOpByWorkers map[string]float64 `json:"ns_per_op_by_workers"`
 	SpeedupByWorkers map[string]float64 `json:"speedup_by_workers,omitempty"`
+	// PhaseNsPerOpByWorkers maps worker count -> phase metric unit ->
+	// arithmetic-mean value (phases can be ~0 on tiny inputs, which a
+	// geomean cannot absorb).
+	PhaseNsPerOpByWorkers map[string]map[string]float64 `json:"phase_ns_per_op_by_workers,omitempty"`
 }
 
 // summarizeScaling fills the Scaling section from sub-benchmarks named
@@ -177,6 +187,8 @@ func (rec *Record) summarizeScaling() {
 	}
 	sums := map[key]float64{}
 	counts := map[key]int{}
+	phaseSums := map[key]map[string]float64{}
+	phaseCounts := map[key]map[string]int{}
 	for _, b := range run.Benchmarks {
 		family, tail, ok := strings.Cut(b.Name, "/workers=")
 		if !ok || b.NsPerOp <= 0 {
@@ -185,6 +197,17 @@ func (rec *Record) summarizeScaling() {
 		k := key{family, tail}
 		sums[k] += math.Log(b.NsPerOp)
 		counts[k]++
+		for unit, val := range b.Extra {
+			if !strings.HasPrefix(unit, "phase-") {
+				continue
+			}
+			if phaseSums[k] == nil {
+				phaseSums[k] = map[string]float64{}
+				phaseCounts[k] = map[string]int{}
+			}
+			phaseSums[k][unit] += val
+			phaseCounts[k][unit]++
+		}
 	}
 	if len(sums) == 0 {
 		return
@@ -197,6 +220,16 @@ func (rec *Record) summarizeScaling() {
 			rec.Scaling[k.family] = sc
 		}
 		sc.NsPerOpByWorkers[k.workers] = round2(math.Exp(s / float64(counts[k])))
+		if ps := phaseSums[k]; ps != nil {
+			if sc.PhaseNsPerOpByWorkers == nil {
+				sc.PhaseNsPerOpByWorkers = map[string]map[string]float64{}
+			}
+			phases := map[string]float64{}
+			for unit, sum := range ps {
+				phases[unit] = round2(sum / float64(phaseCounts[k][unit]))
+			}
+			sc.PhaseNsPerOpByWorkers[k.workers] = phases
+		}
 	}
 	for _, sc := range rec.Scaling {
 		base, ok := sc.NsPerOpByWorkers["1"]
@@ -344,13 +377,19 @@ func parseBenchLine(line string) (Bench, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			b.NsPerOp = val
 		case "B/op":
 			b.BPerOp = val
 		case "allocs/op":
 			b.AllocsPerOp = val
+		default:
+			// Custom b.ReportMetric units (e.g. per-phase timings).
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[unit] = val
 		}
 	}
 	if b.NsPerOp == 0 {

@@ -157,3 +157,40 @@ func TestScalingSection(t *testing.T) {
 		t.Fatalf("workers=8 speedup = %v, want 4", got)
 	}
 }
+
+const samplePhases = `goos: linux
+BenchmarkParallelHLBUB/workers=1-8   10   8000000 ns/op   500000 phase-ub-ns/op   7000000 phase-intervals-ns/op   0 B/op   0 allocs/op
+BenchmarkParallelHLBUB/workers=1-8   10   8000000 ns/op   700000 phase-ub-ns/op   7000000 phase-intervals-ns/op   0 B/op   0 allocs/op
+BenchmarkParallelHLBUB/workers=4-8   10   3000000 ns/op   200000 phase-ub-ns/op   2500000 phase-intervals-ns/op   0 B/op   0 allocs/op
+`
+
+// TestPhaseBreakdown checks that custom b.ReportMetric units survive
+// parsing into Bench.Extra and that "phase-*" metrics of workers=N
+// families aggregate (arithmetic mean across -count repeats) into the
+// scaling section's phase breakdown — the per-phase Amdahl record.
+func TestPhaseBreakdown(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	if err := run([]string{"-o", out}, strings.NewReader(samplePhases)); err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	data, _ := os.ReadFile(out)
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	b := rec.Runs["current"].Benchmarks[0]
+	if b.Extra["phase-ub-ns/op"] != 500000 || b.Extra["phase-intervals-ns/op"] != 7000000 {
+		t.Fatalf("custom metrics not parsed into Extra: %+v", b.Extra)
+	}
+	sc := rec.Scaling["ParallelHLBUB"]
+	if sc == nil || sc.PhaseNsPerOpByWorkers == nil {
+		t.Fatalf("no phase breakdown in scaling section: %+v", sc)
+	}
+	if got := sc.PhaseNsPerOpByWorkers["1"]["phase-ub-ns/op"]; got != 600000 {
+		t.Fatalf("workers=1 phase-ub mean = %v, want 6e5 (mean of 5e5 and 7e5)", got)
+	}
+	if got := sc.PhaseNsPerOpByWorkers["4"]["phase-intervals-ns/op"]; got != 2500000 {
+		t.Fatalf("workers=4 phase-intervals = %v, want 2.5e6", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	khcore "repro"
 )
@@ -90,8 +91,13 @@ func BenchmarkDecomposeFreshParallel(b *testing.B)  { benchmarkFresh(b, 0) }
 // BenchmarkParallelHLBUB is the worker-scaling benchmark behind
 // BENCH_parallel.json and the README scaling table: one warm engine per
 // worker count, h = 2, h-LB+UB end to end (bounds, Algorithm 5 and the
-// concurrent interval peeling). workers=1 takes the serial carry path;
-// higher counts drain the interval work queue with per-worker solvers.
+// concurrent interval peeling). workers=1 takes the serial peels; higher
+// counts run the level-synchronous Algorithm-5 rounds and drain the
+// interval work queue with per-worker solvers (host gates permitting).
+// Each sub-benchmark also reports the pipeline's per-phase wall-times as
+// custom metrics ("phase-*-ns/op"), which benchjson folds into the
+// phase_ns_per_op_by_workers section — the Amdahl split of the run,
+// recorded instead of inferred.
 func BenchmarkParallelHLBUB(b *testing.B) {
 	g := benchGraph()
 	for _, workers := range []int{1, 2, 4, 8} {
@@ -105,11 +111,21 @@ func BenchmarkParallelHLBUB(b *testing.B) {
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
+			var hdeg, lb, ub, ivals time.Duration
 			for i := 0; i < b.N; i++ {
 				if err := eng.DecomposeInto(&res, opts); err != nil {
 					b.Fatal(err)
 				}
+				hdeg += res.Stats.PhaseHDegrees
+				lb += res.Stats.PhaseLowerBounds
+				ub += res.Stats.PhaseUpperBound
+				ivals += res.Stats.PhaseIntervals
 			}
+			n := float64(b.N)
+			b.ReportMetric(float64(hdeg.Nanoseconds())/n, "phase-hdeg-ns/op")
+			b.ReportMetric(float64(lb.Nanoseconds())/n, "phase-lb-ns/op")
+			b.ReportMetric(float64(ub.Nanoseconds())/n, "phase-ub-ns/op")
+			b.ReportMetric(float64(ivals.Nanoseconds())/n, "phase-intervals-ns/op")
 		})
 	}
 }

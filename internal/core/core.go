@@ -120,7 +120,11 @@ type Options struct {
 	PartitionSize int
 	// LazyCapSlack is the headroom above the peeling frontier before a
 	// lazy h-degree count truncates (see defaultLazyCapSlack). 0 selects
-	// the default (16); a negative value selects zero slack.
+	// an adaptive value: HLBUB derives it from the upper-bound histogram
+	// (mean vertices per distinct UB value, clamped to [4, 64]) once
+	// Algorithm 5 has run, and the other algorithms — which have no UB
+	// histogram — use the fixed default (16). A positive value forces
+	// exactly that slack everywhere; a negative value selects zero slack.
 	LazyCapSlack int
 	// BatchMin is the batch size below which the h-BFS pool runs a batch
 	// on the publishing worker instead of waking the helpers; ≤ 0 selects
@@ -145,6 +149,8 @@ func (o Options) withDefaults() Options {
 }
 
 // slackValue resolves the LazyCapSlack encoding (0 = default, < 0 = none).
+// HLBUB later refines the default adaptively in planIntervals, where the
+// upper-bound histogram is in hand; see adaptiveSlack.
 func (o Options) slackValue() int {
 	switch {
 	case o.LazyCapSlack == 0:
@@ -172,6 +178,16 @@ type Stats struct {
 	Partitions int
 	// Duration is the wall-clock decomposition time.
 	Duration time.Duration
+
+	// Phase wall-times of the HLBUB pipeline (zero for HLB/HBZ, which
+	// have no such split). Together they record the Amdahl decomposition
+	// of a run directly: PhaseUpperBound is the Algorithm-5 prefix that
+	// was fully serial before the level-synchronous peel, and
+	// PhaseIntervals is the partition peeling that scales across workers.
+	PhaseHDegrees    time.Duration
+	PhaseLowerBounds time.Duration
+	PhaseUpperBound  time.Duration
+	PhaseIntervals   time.Duration
 }
 
 // absorb folds a solver's work counters into the aggregate and zeroes the
@@ -322,6 +338,23 @@ type Engine struct {
 	parSolvers int
 	cursor     atomic.Int64
 
+	// Level-synchronous parallel Algorithm-5 scratch: the current round's
+	// frontier (the drained bucket), one touched-vertex list per pool
+	// worker for the post-round re-bucket pass, and the ball callback —
+	// bound once at construction, like parJob, to keep runs
+	// allocation-free.
+	ubFrontier []int32
+	ubTouched  [][]int32
+	ubBallJob  hbfs.BallFunc
+
+	// bcast is the lock-free settled-vertex broadcast for the parallel
+	// interval path: bcast[v] holds core(v)+1 once some interval solver
+	// has settled v (0 = not yet published). Lower intervals read it as a
+	// monotone hint to convert already-settled vertices straight into
+	// carriers instead of re-peeling them; correctness never depends on a
+	// read observing a publish. nil outside a parallel HLBUB fan-out.
+	bcast []int32
+
 	// Per-run state.
 	h     int
 	slack int
@@ -373,6 +406,27 @@ func NewEngine(g *graph.Graph, workers int) *Engine {
 			s.stats.Partitions++
 			s.solveInterval(iv.kmin, iv.kmax, e.parUB, e.parLB2)
 		}
+	}
+	// Ball callback of the level-synchronous Algorithm-5 rounds: decrement
+	// the approximate h-degree of every still-queued member of a popped
+	// vertex's h-ball and note it in this worker's touched list. The
+	// bucket queue is only probed (Contains is a plain array read and the
+	// queue is not mutated during a fan-out), the decrement is atomic
+	// because several balls may hit the same vertex, and the touched lists
+	// are per-worker, so the callback is data-race-free by construction.
+	e.ubTouched = make([][]int32, e.pool.Workers())
+	e.ubBallJob = func(worker int, v int32, ball []int32, shellStart int) {
+		q := e.sv[0].q
+		ubdeg := e.ubdeg
+		touched := e.ubTouched[worker]
+		for _, nb := range ball {
+			if !q.Contains(int(nb)) {
+				continue
+			}
+			atomic.AddInt32(&ubdeg[nb], -1)
+			touched = append(touched, nb)
+		}
+		e.ubTouched[worker] = touched
 	}
 	// The batch workers poll the same broadcast between chunks, so a
 	// canceled run drains the in-flight batch instead of finishing it; the

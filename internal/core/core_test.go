@@ -125,12 +125,14 @@ func TestHLBUBPartitionSizes(t *testing.T) {
 }
 
 // TestParallelWorkersMatchSequential checks that worker count never changes
-// the result, and that the work accounting stays deterministic. For h-BZ
-// and h-LB the peeling is identical under any worker count, so the visit
-// counts must match exactly; parallel h-LB+UB runs a different (interval-
-// independent) schedule than the serial carry path, so its visits are
-// compared between two parallel runs instead — the per-interval work is
-// deterministic regardless of which solver claims which interval.
+// the result. For h-BZ and h-LB the peeling is identical under any worker
+// count, so the visit counts must also match exactly. Parallel h-LB+UB
+// runs a different (interval-independent) schedule than the serial carry
+// path, and the settled-vertex broadcast makes its *work* — though never
+// its result — timing-dependent: whether a lower interval observes a
+// higher interval's publish before paying a recount varies run to run, so
+// for HLBUB only the core indices (and the presence of work) are pinned
+// across repeated parallel runs.
 func TestParallelWorkersMatchSequential(t *testing.T) {
 	forceParallel(t)
 	g := gen.BarabasiAlbert(150, 3, 99)
@@ -149,12 +151,16 @@ func TestParallelWorkersMatchSequential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if par2.Stats.Visits != par.Stats.Visits {
-				t.Errorf("h=%d %v: parallel visits nondeterministic: %d vs %d",
-					h, alg, par.Stats.Visits, par2.Stats.Visits)
+			equalCores(t, fmt.Sprintf("h=%d %v parallel rerun", h, alg), par2, seq.Core)
+			if par.Stats.Visits == 0 || par2.Stats.Visits == 0 {
+				t.Errorf("h=%d %v: parallel run recorded no visits", h, alg)
 			}
 			if alg != HLBUB && par.Stats.Visits != seq.Stats.Visits {
 				t.Errorf("h=%d %v: visits differ: seq=%d par=%d", h, alg, seq.Stats.Visits, par.Stats.Visits)
+			}
+			if alg != HLBUB && par2.Stats.Visits != par.Stats.Visits {
+				t.Errorf("h=%d %v: parallel visits nondeterministic: %d vs %d",
+					h, alg, par.Stats.Visits, par2.Stats.Visits)
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"slices"
+	"time"
 )
 
 // forceParallelIntervals is a test hook: the concurrent interval path is
@@ -38,16 +39,24 @@ func (e *Engine) runHLBUB() {
 	// Lines 3–6: initial h-degrees, LB2, LB3 ← 0 (parallel, §4.6). The
 	// batch reports how many sources it actually evaluated, so the stat
 	// stays honest when an alive mask (or a dead vertex) shrinks the work.
+	// Each pipeline stage records its wall-time so BENCH files carry the
+	// Amdahl split directly.
+	t0 := time.Now()
 	e.degH = growInt32(e.degH, n)
 	e.stats.HDegreeComputations += e.pool.HDegrees(e.allVerts(), e.h, e.alive0(), e.degH)
+	e.stats.PhaseHDegrees = time.Since(t0)
 	if e.cancel.stop() {
 		return // the batch was drained early; nothing downstream may read it
 	}
+	t0 = time.Now()
 	lb2 := e.mergeSeedLB(e.lb2Into(e.lb1Into()))
+	e.stats.PhaseLowerBounds = time.Since(t0)
 
 	// Line 7: upper bounds via implicit power-graph peeling, tightened by
 	// the carried bound when a Maintainer supplies one.
+	t0 = time.Now()
 	ub := e.upperBoundsInto(e.degH)
+	e.stats.PhaseUpperBound = time.Since(t0)
 	if e.cancel.stop() {
 		return // Algorithm 5 aborted; the bounds are partial
 	}
@@ -75,11 +84,13 @@ func (e *Engine) runHLBUB() {
 	// into covering top-down intervals.
 	e.planIntervals(ub, lb2, solvers)
 
+	t0 = time.Now()
 	if solvers > 1 && len(e.intervals) > 1 {
 		e.runIntervalsParallel(ub, lb2)
-		return
+	} else {
+		e.runIntervalsSequential(ub, lb2)
 	}
-	e.runIntervalsSequential(ub, lb2)
+	e.stats.PhaseIntervals = time.Since(t0)
 }
 
 // planIntervals computes the descending distinct upper-bound values (with
@@ -108,6 +119,20 @@ func (e *Engine) planIntervals(ub, lb2 []int32, solvers int) {
 	vals = slices.Compact(vals)
 	slices.Reverse(vals)
 	e.ubvals = vals
+
+	// With the UB distribution finally in hand, resolve LazyCapSlack = 0
+	// ("adaptive") against it: the mean number of vertices per distinct UB
+	// value estimates how many re-pops a capped vertex survives per level,
+	// so dense spectra (many vertices per value — the slack pays for
+	// itself quickly) get more headroom than sparse ones. The sequential
+	// solver was bound in beginRun with the provisional default, so its
+	// slack is re-pointed here; the parallel solvers bind later and pick
+	// up e.slack naturally. An explicit Options.LazyCapSlack (> 0 forced,
+	// < 0 zero) is left alone.
+	if e.opts.LazyCapSlack == 0 {
+		e.slack = adaptiveSlack(len(ub), len(vals)-1)
+		e.sv[0].slack = e.slack
+	}
 
 	e.intervals = e.intervals[:0]
 	if step := e.opts.PartitionSize; step > 0 {
@@ -171,6 +196,30 @@ func (e *Engine) planIntervals(ub, lb2 []int32, solvers int) {
 	}
 }
 
+// adaptiveSlack derives the lazy-recount slack from the upper-bound
+// spectrum: n vertices spread over `distinct` distinct UB values average
+// n/distinct vertices per peeling level, which is how far above the
+// frontier a capped vertex's true h-degree plausibly sits — and therefore
+// how much headroom makes the recount come out exact instead of truncated
+// again one level later. Clamped to [4, 64]: below 4 the re-pop churn
+// dominates on any graph, above 64 the truncation stops saving anything
+// over a full count — the slack sweep in BENCH_parallel.json showed the
+// cost surface is flat in the middle and only punishes the extremes,
+// which is exactly what the clamp removes.
+func adaptiveSlack(n, distinct int) int {
+	if distinct < 1 {
+		distinct = 1
+	}
+	s := n / distinct
+	if s < 4 {
+		return 4
+	}
+	if s > 64 {
+		return 64
+	}
+	return s
+}
+
 // runIntervalsSequential resolves the planned intervals top-down inside
 // the sequential solver arena, carrying state across intervals the way
 // the paper's serial Algorithm 4 does: vertices settled by a higher
@@ -231,14 +280,30 @@ func (e *Engine) runIntervalsParallel(ub, lb2 []int32) {
 	for len(e.sv) < w {
 		e.sv = append(e.sv, newPartitionSolver())
 	}
+	// Arm the settled-vertex broadcast: one atomic slot per vertex,
+	// zeroed (= unpublished) each run. Solvers publish core(v)+1 when
+	// they settle v and consult the array before re-peeling a vertex a
+	// higher interval already resolved — the lock-free analogue of the
+	// sequential carry. Publishes only ever move a slot 0 → final value,
+	// so any read is either the exact settled index or a harmless miss.
+	e.bcast = growInt32(e.bcast, e.g.NumVertices())
+	for i := range e.bcast {
+		e.bcast[i] = 0
+	}
 	for _, s := range e.sv[:w] {
 		// nil pool: inside a Run job the batch kernels are off-limits
 		// (worker 0 would deadlock); inter-interval concurrency replaces
 		// intra-batch concurrency here.
 		s.bind(e.g, e.core, e.h, e.slack, nil, &e.cancel)
+		s.bcast = e.bcast
 	}
 	e.parUB, e.parLB2 = ub, lb2
 	e.cursor.Store(0)
 	e.pool.Run(e.parJob)
 	e.parUB, e.parLB2 = nil, nil
+	for _, s := range e.sv[:w] {
+		// Detach: solver 0 doubles as the sequential arena, which must
+		// never consult a stale broadcast on a later serial run.
+		s.bcast = nil
+	}
 }

@@ -8,15 +8,61 @@ import (
 	"repro/internal/gen"
 )
 
-// forceParallel makes the concurrent interval path run regardless of the
-// host's GOMAXPROCS gate, so these tests exercise the real fan-out even on
-// a single-core machine (where the engine would otherwise — correctly —
-// fall back to the serial carry path).
+// forceParallel makes every concurrent path run regardless of the host's
+// GOMAXPROCS gate — the interval fan-out AND the level-synchronous
+// Algorithm-5 peel — so these tests exercise the real machinery (including
+// the settled-vertex broadcast) even on a single-core machine, where the
+// engine would otherwise — correctly — fall back to the serial paths.
 func forceParallel(t *testing.T) {
 	t.Helper()
-	old := forceParallelIntervals
-	forceParallelIntervals = true
-	t.Cleanup(func() { forceParallelIntervals = old })
+	old, oldUB := forceParallelIntervals, forceParallelUB
+	forceParallelIntervals, forceParallelUB = true, true
+	t.Cleanup(func() { forceParallelIntervals, forceParallelUB = old, oldUB })
+}
+
+// forceParallelUBOnly flips just the Algorithm-5 gate, so the upper-bound
+// equivalence property below isolates the level-synchronous peel from the
+// interval fan-out.
+func forceParallelUBOnly(t *testing.T) {
+	t.Helper()
+	old := forceParallelUB
+	forceParallelUB = true
+	t.Cleanup(func() { forceParallelUB = old })
+}
+
+// TestParallelUpperBoundBitIdentical is the level-synchronous Algorithm-5
+// guarantee: for randomized graphs, every h in 1..3 and several worker
+// counts, the round-based parallel peel must produce upper bounds
+// bit-identical to the serial peel — the peel is exact (it IS the core
+// decomposition of G^h), so this is equality of algorithms, not of
+// approximations. Run under -race in CI, it also checks the fan-out's
+// queue-probe/atomic-decrement discipline.
+func TestParallelUpperBoundBitIdentical(t *testing.T) {
+	forceParallelUBOnly(t)
+	check := func(seed int64) bool {
+		g := randGraph(seed, 60, 3)
+		for h := 1; h <= 3; h++ {
+			want := UpperBounds(g, h, 1) // single-worker engine: serial peel
+			for _, workers := range []int{2, 3, 8} {
+				got := UpperBounds(g, h, workers)
+				if len(got) != len(want) {
+					t.Logf("seed %d h=%d workers=%d: %d bounds, want %d", seed, h, workers, len(got), len(want))
+					return false
+				}
+				for v := range want {
+					if got[v] != want[v] {
+						t.Logf("seed %d h=%d workers=%d: vertex %d: parallel UB %d, serial %d",
+							seed, h, workers, v, got[v], want[v])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestParallelHLBUBEquivalenceProperty is the parallel-vs-sequential

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/graph"
 	"repro/internal/hbfs"
 	"repro/internal/vset"
@@ -39,6 +41,16 @@ type partitionSolver struct {
 	// cancel is the engine's per-run cancellation broadcast; the peeling
 	// and cleaning loops poll it, amortized by cancelCheckMask.
 	cancel *cancelState
+	// bcast, when non-nil, is the engine's lock-free settled-vertex
+	// broadcast (parallel h-LB+UB only): bcast[v] = core(v)+1 once any
+	// solver settles v, 0 while unpublished. Solvers publish their own
+	// settles and read other intervals' to convert already-settled
+	// vertices straight into carriers — the concurrent analogue of the
+	// sequential carry. Reads are monotone hints: a slot moves 0 → final
+	// value exactly once, so a load returns either the true settled index
+	// or a miss that merely forfeits the shortcut. nil outside a parallel
+	// fan-out (bind clears it; runIntervalsParallel re-attaches it).
+	bcast []int32
 
 	// alive marks vertices present in the current (sub)graph.
 	alive *vset.Set
@@ -98,6 +110,7 @@ func (s *partitionSolver) bind(g *graph.Graph, core []int32, h, slack int, pool 
 	s.slack = slack
 	s.pool = pool
 	s.cancel = cancel
+	s.bcast = nil // re-attached per fan-out by runIntervalsParallel
 	if pool != nil {
 		s.t = pool.Traversal(0)
 	}
@@ -188,9 +201,21 @@ func (s *partitionSolver) seedQueue(kmin, kmax int, carryAssigned bool) {
 					key = int(s.lb3[v])
 				}
 			}
-		} else if int(s.lb3[v]) > kmax {
-			carrier = true
-			key = int(s.lb3[v])
+		} else {
+			// A parallel solver cannot see its own engine-mates' settles
+			// through `assigned`, but the broadcast may already carry the
+			// exact core index a higher interval published — the same
+			// carrier conversion the serial carry gets for free. A missed
+			// publish just falls through to the LB3 test.
+			if s.bcast != nil {
+				if c := int(atomic.LoadInt32(&s.bcast[v])) - 1; c > kmax {
+					carrier, key = true, c
+				}
+			}
+			if !carrier && int(s.lb3[v]) > kmax {
+				carrier = true
+				key = int(s.lb3[v])
+			}
 		}
 		switch {
 		case carrier:
@@ -274,6 +299,21 @@ func (s *partitionSolver) coreDecomp(kmin, kmax int) {
 				break
 			}
 			if s.setLB.Contains(v) || s.capped.Contains(v) {
+				// Before paying a truncated recount, consult the broadcast:
+				// a higher interval may have settled v mid-peel (its true
+				// core exceeds kmax, so this interval could never settle it
+				// — only re-count it at every level it gets parked at).
+				// Converting it into a carrier above kmax keeps it alive as
+				// a distance carrier while removeAndUpdate skips it from
+				// now on, exactly like a seedQueue-time carrier.
+				if s.bcast != nil {
+					if c := int(atomic.LoadInt32(&s.bcast[v])) - 1; c > kmax {
+						s.setLB.Add(v)
+						s.capped.Remove(v)
+						s.q.insert(v, c)
+						continue
+					}
+				}
 				// Lazily count the h-degree w.r.t. the alive set, but only
 				// far enough to place v relative to the frontier.
 				cap := k + 1 + s.slack
@@ -296,6 +336,11 @@ func (s *partitionSolver) coreDecomp(kmin, kmax int) {
 			if k >= kmin {
 				s.core[v] = int32(k)
 				s.assigned.Add(v)
+				if s.bcast != nil {
+					// Publish for lower intervals still peeling: they may
+					// now carrier-convert v instead of re-processing it.
+					atomic.StoreInt32(&s.bcast[v], int32(k)+1)
+				}
 			}
 			s.setLB.Add(v)
 			s.removeAndUpdate(v, k)

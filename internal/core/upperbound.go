@@ -3,9 +3,16 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"repro/internal/graph"
 )
+
+// forceParallelUB is a test hook mirroring forceParallelIntervals: the
+// level-synchronous parallel Algorithm-5 peel is normally gated on
+// GOMAXPROCS > 1, which would leave it untested on single-core CI shards;
+// package tests flip this to exercise the real fan-out regardless.
+var forceParallelUB = false
 
 // upperBoundsInto implements Algorithm 5: an upper bound on every core
 // index obtained by peeling the power graph G^h implicitly, without ever
@@ -18,6 +25,10 @@ import (
 // upper-bounds its (k,h)-core index. degH supplies the initial h-degrees.
 // The result lands in (and aliases) the engine's ub scratch; the
 // sequential solver's bucket queue is borrowed and left empty.
+//
+// A multi-worker engine on a multi-core host (same gate as the interval
+// peeling, with its own force hook) runs the level-synchronous parallel
+// peel; everything else takes the serial loop.
 func (e *Engine) upperBoundsInto(degH []int32) []int32 {
 	n := e.g.NumVertices()
 	e.ub = growInt32(e.ub, n)
@@ -28,14 +39,39 @@ func (e *Engine) upperBoundsInto(degH []int32) []int32 {
 		copy(ub, degH)
 		return ub
 	}
+	q := e.powerPeelInit(degH)
+	if e.pool.Workers() > 1 && (runtime.GOMAXPROCS(0) > 1 || forceParallelUB) {
+		e.powerPeelParallel(ub, e.ubdeg, q)
+	} else {
+		e.powerPeelSerial(ub, e.ubdeg, q, nil)
+	}
+	return ub
+}
+
+// powerPeelInit sizes the engine's ub/ubdeg scratch from degH and seeds
+// the borrowed sequential bucket queue with every vertex at its
+// approximate h-degree (Algorithm 5 lines 1–2), returning the queue.
+func (e *Engine) powerPeelInit(degH []int32) *bucketQueue {
+	n := e.g.NumVertices()
+	e.ub = growInt32(e.ub, n)
 	e.ubdeg = growInt32(e.ubdeg, n)
-	ubdeg := e.ubdeg
-	copy(ubdeg, degH)
+	copy(e.ubdeg, degH)
 	q := e.sv[0].q
 	q.Clear()
 	for v := 0; v < n; v++ {
-		q.insert(v, int(ubdeg[v]))
+		q.insert(v, int(e.ubdeg[v]))
 	}
+	return q
+}
+
+// powerPeelSerial is the one serial Algorithm-5 loop body, shared by the
+// single-core upper-bound path and PowerPeelingOrder: pop the minimum
+// vertex, settle its bound at the running level, and decrement the
+// approximate h-degree of every still-queued vertex in its h-ball. When
+// order is non-nil, every settled vertex is appended to it — the
+// degeneracy ordering of G^h — and the grown slice is returned. The
+// cancellation broadcast is polled on the usual amortized schedule.
+func (e *Engine) powerPeelSerial(ub, ubdeg []int32, q *bucketQueue, order []int) []int {
 	t := e.trav()
 	k := 0
 	ops := 0
@@ -51,6 +87,9 @@ func (e *Engine) upperBoundsInto(degH []int32) []int32 {
 			k = kv
 		}
 		ub[v] = int32(k)
+		if order != nil {
+			order = append(order, v)
+		}
 		// Algorithm 5 peels over the full vertex set, so no alive mask;
 		// the ball is consumed before the next pop reuses the scratch.
 		verts, _ := t.Ball(v, e.h, nil)
@@ -68,7 +107,80 @@ func (e *Engine) upperBoundsInto(degH []int32) []int32 {
 			q.move(u, nk)
 		}
 	}
-	return ub
+	return order
+}
+
+// powerPeelParallel is the level-synchronous parallel Algorithm-5 peel:
+// instead of popping one vertex at a time, every round drains the entire
+// current-level bucket at once, fans the popped vertices' h-balls across
+// the pool workers (Pool.Balls), and applies the UBdeg decrements with
+// per-vertex atomics. Removing a whole level together is exact for the
+// implicit-power-graph core decomposition: a vertex popped at level k has
+// its bound fixed at k no matter how many same-level pops decrement it
+// first (its key is clamped at the frontier), and a vertex that stays
+// queued past the level receives one decrement per popped vertex whose
+// ball contains it under either schedule — so the result is bit-identical
+// to the serial peel. Decrements from pops of the same round simply skip
+// each other (both left the queue together), mirroring the serial
+// no-op-on-popped rule.
+//
+// Each worker records the vertices it decremented in a per-worker touched
+// list; after the fan-out joins, a serial pass re-buckets them at
+// max(ubdeg, k). Duplicate entries (several popped balls containing the
+// same vertex) re-move it to the bucket it is already in, a no-op.
+// Frontiers smaller than the pool's batchMin run inline on worker 0
+// inside Pool.Balls, so the frequent tiny rounds of a skewed bound
+// distribution never pay helper wake-ups.
+func (e *Engine) powerPeelParallel(ub, ubdeg []int32, q *bucketQueue) {
+	n := len(ub)
+	e.ubFrontier = growInt32(e.ubFrontier, n)[:0]
+	k := 0
+	for q.Len() > 0 {
+		if e.cancel.stop() {
+			break
+		}
+		v, kv := q.PopMin(k)
+		if v < 0 {
+			break
+		}
+		if kv > k {
+			k = kv
+		}
+		// Drain the whole current-level bucket: these bounds are final.
+		frontier := append(e.ubFrontier[:0], int32(v))
+		ub[v] = int32(k)
+		for {
+			u := q.PopFrom(k)
+			if u < 0 {
+				break
+			}
+			ub[u] = int32(k)
+			frontier = append(frontier, int32(u))
+		}
+		e.ubFrontier = frontier
+		for w := range e.ubTouched {
+			e.ubTouched[w] = e.ubTouched[w][:0]
+		}
+		// Fan the frontier's h-balls across the workers. The bucket queue
+		// is read-only for the duration (Contains probes only); ubdeg
+		// updates go through atomics, and every decrement is recorded in
+		// the decrementing worker's touched list.
+		e.pool.Balls(frontier, e.h, nil, e.ubBallJob)
+		// Serial re-bucket of everything the round touched. The WaitGroup
+		// join inside Balls orders the workers' atomic decrements before
+		// these plain reads.
+		for w := range e.ubTouched {
+			touched := e.ubTouched[w]
+			e.stats.Decrements += int64(len(touched))
+			for _, u := range touched {
+				nk := int(ubdeg[u])
+				if nk < k {
+					nk = k
+				}
+				q.move(int(u), nk)
+			}
+		}
+	}
 }
 
 // UpperBounds exposes Algorithm 5 for analysis (Table 4): the core-index
@@ -118,46 +230,53 @@ func UpperBoundsCtx(ctx context.Context, g *graph.Graph, h, workers int) ([]int3
 // implicit power-graph peeling removes the vertices — a degeneracy
 // ordering of G^h — together with the per-vertex upper bounds. Coloring
 // greedily in the reverse of this order uses at most 1 + max(ub) colors
-// (the Szekeres–Wilf bound on G^h); see the chromatic package.
+// (the Szekeres–Wilf bound on G^h); see the chromatic package. h = 0
+// selects the default distance threshold 2; a nil graph or negative h
+// yields empty results — PowerPeelingOrderCtx reports those as typed
+// errors instead.
 func PowerPeelingOrder(g *graph.Graph, h, workers int) (order []int, ub []int32) {
-	n := g.NumVertices()
-	order = make([]int, 0, n)
-	e := NewEngine(g, workers)
-	e.beginRun(Options{H: h}.withDefaults())
-	e.degH = growInt32(e.degH, n)
-	e.pool.HDegrees(e.allVerts(), e.h, e.alive0(), e.degH)
-	ubdeg := make([]int32, n)
-	copy(ubdeg, e.degH)
-	ub = make([]int32, n)
-	q := newBucketQueue(n)
-	for v := 0; v < n; v++ {
-		q.insert(v, int(ubdeg[v]))
+	if h == 0 {
+		h = 2
 	}
-	t := e.trav()
-	k := 0
-	for q.Len() > 0 {
-		v, kv := q.PopMin(k)
-		if v < 0 {
-			break
-		}
-		if kv > k {
-			k = kv
-		}
-		ub[v] = int32(k)
-		order = append(order, v)
-		verts, _ := t.Ball(v, h, nil)
-		for _, nb := range verts {
-			u := int(nb)
-			if !q.Contains(u) {
-				continue
-			}
-			ubdeg[u]--
-			nk := int(ubdeg[u])
-			if nk < k {
-				nk = k
-			}
-			q.move(u, nk)
-		}
+	order, ub, err := PowerPeelingOrderCtx(context.Background(), g, h, workers)
+	if err != nil {
+		return []int{}, []int32{}
 	}
 	return order, ub
+}
+
+// PowerPeelingOrderCtx is PowerPeelingOrder with cooperative cancellation
+// and the typed-error contract (ErrNilGraph, ErrInvalidH for h < 1, an
+// ErrCanceled wrap when ctx fires mid-peel). It shares powerPeelSerial
+// with the upper-bound path — the peeling order is the serial pop order,
+// which a level-synchronous schedule cannot reproduce, so this helper
+// always runs the serial loop (with its decrement accounting and
+// amortized cancellation polls) regardless of worker count.
+func PowerPeelingOrderCtx(ctx context.Context, g *graph.Graph, h, workers int) ([]int, []int32, error) {
+	if g == nil {
+		return nil, nil, fmt.Errorf("%w: PowerPeelingOrder", ErrNilGraph)
+	}
+	if h < 1 {
+		return nil, nil, fmt.Errorf("%w: h=%d (need h ≥ 1)", ErrInvalidH, h)
+	}
+	e := NewEngine(g, workers)
+	e.cancel.bindRun(ctx)
+	if e.cancel.stop() {
+		return nil, nil, CanceledError(ctx)
+	}
+	e.beginRun(Options{H: h}.withDefaults())
+	n := g.NumVertices()
+	e.degH = growInt32(e.degH, n)
+	e.pool.HDegrees(e.allVerts(), e.h, e.alive0(), e.degH)
+	if e.cancel.stop() {
+		return nil, nil, CanceledError(ctx)
+	}
+	q := e.powerPeelInit(e.degH)
+	order := e.powerPeelSerial(e.ub, e.ubdeg, q, make([]int, 0, n))
+	if e.cancel.stop() {
+		return nil, nil, CanceledError(ctx)
+	}
+	ub := make([]int32, n)
+	copy(ub, e.ub)
+	return order, ub, nil
 }

@@ -260,6 +260,82 @@ func TestPoolCappedMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestPoolBallsMatchesSequential checks the Balls batch kernel — the
+// fan-out behind the level-synchronous parallel Algorithm-5 peel —
+// against per-vertex sequential Ball calls: identical members, order and
+// shell split (Ball is deterministic given the source, so worker identity
+// must not leak into results), with and without an alive mask, through
+// both the inline small-batch path and the forced helper fan-out.
+func TestPoolBallsMatchesSequential(t *testing.T) {
+	check := func(seed int64) bool {
+		g, alive, _, h := randomCase(seed)
+		n := g.NumVertices()
+		pool := NewPool(g, 4)
+		defer pool.Close()
+		verts := make([]int32, n)
+		for v := range verts {
+			verts[v] = int32(v)
+		}
+		for _, masked := range []bool{false, true} {
+			var av *vset.Set
+			if masked {
+				av = alive
+			}
+			for _, batchMin := range []int{0, 1} { // default (inline here) and forced fan-out
+				pool.SetTuning(batchMin, batchMin)
+				got := make([][]int32, n)
+				shells := make([]int, n)
+				pool.Balls(verts, h, av, func(worker int, v int32, ball []int32, shellStart int) {
+					cp := make([]int32, len(ball))
+					copy(cp, ball) // ball aliases the worker's scratch: copy before returning
+					got[v] = cp
+					shells[v] = shellStart
+				})
+				seq := NewTraversal(g)
+				for _, v := range verts {
+					want, wantShell := seq.Ball(int(v), h, av)
+					if len(got[v]) != len(want) || shells[v] != wantShell {
+						t.Errorf("seed=%d v=%d h=%d masked=%v batchMin=%d: |ball|=%d shell=%d, want %d/%d",
+							seed, v, h, masked, batchMin, len(got[v]), shells[v], len(want), wantShell)
+						return false
+					}
+					for i := range want {
+						if got[v][i] != want[i] {
+							t.Errorf("seed=%d v=%d h=%d: ball[%d]=%d, want %d", seed, v, h, i, got[v][i], want[i])
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolBallsEmptyAndClosed pins the degenerate paths: an empty vertex
+// list or nil callback is a no-op, and a closed pool still answers on
+// worker 0.
+func TestPoolBallsEmptyAndClosed(t *testing.T) {
+	g := pathGraph(50)
+	pool := NewPool(g, 3)
+	pool.Balls(nil, 2, nil, func(int, int32, []int32, int) { t.Error("callback ran for empty batch") })
+	pool.Balls([]int32{1}, 2, nil, nil) // nil callback: no-op, no panic
+	pool.Close()
+	hits := 0
+	pool.Balls([]int32{1, 2, 3}, 2, nil, func(worker int, v int32, ball []int32, shellStart int) {
+		if worker != 0 {
+			t.Errorf("closed pool used worker %d", worker)
+		}
+		hits++
+	})
+	if hits != 3 {
+		t.Fatalf("closed pool evaluated %d of 3 sources", hits)
+	}
+}
+
 // TestPoolEvaluatedCount checks that dead sources are excluded from the
 // evaluated count a batch reports (the Stats.HDegreeComputations fix).
 func TestPoolEvaluatedCount(t *testing.T) {

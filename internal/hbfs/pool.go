@@ -68,6 +68,12 @@ type poolShared struct {
 	// under the same wake/wg ordering as the batch fields.
 	job func(worker int, t *Traversal)
 
+	// ballFn, when non-nil, replaces the h-degree drain with the Balls
+	// drain: workers claim cursor chunks and hand every claimed vertex's
+	// h-ball to the callback. Published and cleared under the same wake/wg
+	// ordering as the batch fields.
+	ballFn BallFunc
+
 	// cancelFn, when non-nil, is polled by every worker between batch
 	// chunks; a true return makes the worker abandon the rest of the
 	// batch. Set once (SetCancel) before any batch runs — the owner
@@ -188,9 +194,12 @@ func helperLoop(s *poolShared) {
 			return
 		case w := <-s.wake:
 			t := s.travs[w]
-			if job := s.job; job != nil {
-				job(w, t)
-			} else {
+			switch {
+			case s.job != nil:
+				s.job(w, t)
+			case s.ballFn != nil:
+				s.runBalls(w, t)
+			default:
 				s.run(t)
 			}
 			s.wg.Done()
@@ -228,6 +237,77 @@ func (s *poolShared) run(t *Traversal) {
 		}
 	}
 	s.evaluated.Add(evaluated)
+}
+
+// BallFunc consumes one h-ball produced by Pool.Balls: worker is the pool
+// worker that ran the BFS, v the source vertex, and ball/shellStart the
+// Traversal.Ball result (ball aliases that worker's traversal scratch and
+// is valid only until the worker's next search, i.e. only for the duration
+// of the call). Distinct workers invoke fn concurrently, so fn must
+// synchronize any shared writes itself — per-vertex atomics or per-worker
+// accumulators indexed by the worker argument.
+type BallFunc func(worker int, v int32, ball []int32, shellStart int)
+
+// Balls is the batch h-ball kernel behind the level-synchronous parallel
+// Algorithm-5 peel: it computes Ball(v, h, alive) for every vertex in
+// verts, dynamically distributed over the pool's workers via the atomic
+// cursor, and hands each result to fn on the worker that produced it.
+// Small batches (under the pool's batchMin) run inline on worker 0, so
+// the frequent tiny frontiers of a bucket peel never pay a helper
+// wake-up. The owner's cancellation probe is polled between chunks, like
+// the h-degree kernels.
+func (p *Pool) Balls(verts []int32, h int, alive *vset.Set, fn BallFunc) {
+	if len(verts) == 0 || fn == nil {
+		return
+	}
+	s := p.s
+	if s.workers == 1 || s.closed || len(verts) < s.batchMin {
+		t := s.travs[0]
+		for i, v := range verts {
+			if int64(i)%s.batchChunk == 0 && s.cancelFn != nil && s.cancelFn() {
+				break
+			}
+			ball, shell := t.Ball(int(v), h, alive)
+			fn(0, v, ball, shell)
+		}
+		return
+	}
+	p.ensureHelpers()
+	s.verts, s.h, s.alive, s.ballFn = verts, h, alive, fn
+	s.cursor.Store(0)
+	helpers := s.workers - 1
+	s.wg.Add(helpers)
+	for i := 1; i <= helpers; i++ {
+		s.wake <- i
+	}
+	s.runBalls(0, s.travs[0])
+	s.wg.Wait()
+	s.verts, s.alive, s.ballFn = nil, nil, nil
+}
+
+// runBalls drains ball chunks via the atomic cursor until the batch is
+// empty (or the owner's cancellation probe fires).
+func (s *poolShared) runBalls(worker int, t *Traversal) {
+	n := int64(len(s.verts))
+	chunk := s.batchChunk
+	fn := s.ballFn
+	for {
+		if s.cancelFn != nil && s.cancelFn() {
+			break
+		}
+		start := s.cursor.Add(chunk) - chunk
+		if start >= n {
+			break
+		}
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		for _, v := range s.verts[start:end] {
+			ball, shell := t.Ball(int(v), s.h, s.alive)
+			fn(worker, v, ball, shell)
+		}
+	}
 }
 
 // Visits returns the cumulative vertex-visit count across all workers.

@@ -204,6 +204,23 @@ func UpperBoundsCtx(ctx context.Context, g *Graph, h, workers int) ([]int32, err
 	return core.UpperBoundsCtx(ctx, g, h, workers)
 }
 
+// PowerPeelingOrder returns the order in which Algorithm 5 peels the
+// vertices — a degeneracy ordering of the power graph G^h — together with
+// the per-vertex upper bounds. Coloring greedily in the reverse of this
+// order uses at most 1 + max(ub) colors (the basis of the h-chromatic
+// application, §6.2). h = 0 selects the default threshold 2; a nil graph
+// yields empty results.
+func PowerPeelingOrder(g *Graph, h, workers int) (order []int, ub []int32) {
+	return core.PowerPeelingOrder(g, h, workers)
+}
+
+// PowerPeelingOrderCtx is PowerPeelingOrder with cooperative cancellation
+// and the typed-error contract (ErrNilGraph, ErrInvalidH, ErrCanceled) —
+// like UpperBoundsCtx, the peel runs one h-BFS per vertex.
+func PowerPeelingOrderCtx(ctx context.Context, g *Graph, h, workers int) ([]int, []int32, error) {
+	return core.PowerPeelingOrderCtx(ctx, g, h, workers)
+}
+
 // Validate independently verifies that indices is a correct (k,h)-core
 // decomposition of g (validity and maximality at every level). Intended
 // for testing and for auditing third-party results; it is substantially
