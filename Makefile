@@ -17,7 +17,7 @@ COUNT ?= 6
 # and recorded in the JSON output.
 DATASET ?=
 
-.PHONY: build test race race-parallel bench bench-parallel bench-smoke
+.PHONY: build test race race-parallel race-approx bench bench-parallel bench-sampling bench-smoke
 
 build:
 	go build ./...
@@ -34,6 +34,13 @@ race:
 # under the race detector.
 race-parallel:
 	go test -race -run 'TestParallel|TestEngine|TestCancel' ./internal/core/ .
+
+# race-approx is the CI smoke of the sampling-based approximate path: the
+# worker-count determinism property, the cancellation property and the
+# sampled-kernel pool equivalence under the race detector, repeated across
+# a GOMAXPROCS matrix by CI.
+race-approx:
+	go test -race -run 'TestApprox|TestSampled|TestPoolSampled' ./internal/core/ ./internal/hbfs/ .
 
 # bench runs the kernel benchmark suite and records it into
 # BENCH_kernels.json via cmd/benchjson. Drop a baseline run (same format,
@@ -58,6 +65,19 @@ bench-parallel:
 		-note "BenchmarkParallelHLBUB: one warm engine per worker count, h=2, end-to-end h-LB+UB" \
 		current=bench_parallel.txt
 	@echo wrote BENCH_parallel.json
+
+# bench-sampling records the accuracy/latency frontier of the
+# sampling-based approximate decomposition into BENCH_sampling.json: per
+# h, an exact h-LB+UB baseline sub-benchmark plus one sub-benchmark per
+# epsilon carrying observed max/mean core-index error, the advertised
+# bound and samples drawn as custom metrics. benchjson's sampling section
+# computes each epsilon's speedup over the exact baseline.
+bench-sampling:
+	KHCORE_BENCH_DATASET=$(DATASET) go test -run '^$$' -bench 'BenchmarkApproxDecompose$$' -benchmem -count $(COUNT) -timeout 60m . | tee bench_sampling.txt
+	go run ./cmd/benchjson -o BENCH_sampling.json -dataset '$(DATASET)' \
+		-note "BenchmarkApproxDecompose: one warm single-worker engine, exact baseline + eps sweep, fixed seed 1" \
+		current=bench_sampling.txt
+	@echo wrote BENCH_sampling.json
 
 # bench-smoke compiles and runs every benchmark in the module for exactly
 # one iteration — fast enough for CI, and enough to keep them from rotting.

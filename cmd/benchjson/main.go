@@ -98,6 +98,7 @@ func run(args []string, stdin io.Reader) error {
 	}
 	rec.summarize()
 	rec.summarizeScaling()
+	rec.summarizeSampling()
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -125,6 +126,10 @@ type Record struct {
 	// Scaling holds per-family worker-scaling results parsed from
 	// sub-benchmarks named "<family>/workers=N".
 	Scaling map[string]*Scaling `json:"scaling,omitempty"`
+	// Sampling holds the accuracy/latency frontier of the approximate
+	// decomposition, parsed from families with an "<family>/exact"
+	// baseline and "<family>/eps=E" sub-benchmarks.
+	Sampling map[string]*Sampling `json:"sampling,omitempty"`
 }
 
 // Run is one labelled benchmark invocation: the verbatim benchmark lines
@@ -241,6 +246,127 @@ func (rec *Record) summarizeScaling() {
 			sc.SpeedupByWorkers[w] = round2(base / ns)
 		}
 	}
+}
+
+// Sampling is the accuracy/latency record of one approximate-mode
+// benchmark family: the exact baseline's geometric-mean ns/op and, per
+// epsilon, the approximate run's time, its speedup over exact, and the
+// accuracy metrics the benchmark reports (observed max/mean core-index
+// error, the advertised bound, samples drawn).
+type Sampling struct {
+	ExactNsPerOp float64                     `json:"exact_ns_per_op"`
+	ByEpsilon    map[string]*SamplingEpsilon `json:"by_epsilon"`
+}
+
+// SamplingEpsilon is one epsilon setting's cell of the frontier.
+type SamplingEpsilon struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Speedup float64 `json:"speedup"`
+	// MaxCoreErr / MeanCoreErr are the observed per-vertex core-index
+	// errors against the exact result; ErrBound is the run's advertised
+	// bound and WithinBound records MaxCoreErr ≤ ErrBound.
+	MaxCoreErr   float64 `json:"max_core_err"`
+	MeanCoreErr  float64 `json:"mean_core_err"`
+	ErrBound     float64 `json:"err_bound"`
+	WithinBound  bool    `json:"within_bound"`
+	SamplesPerOp float64 `json:"samples_per_op"`
+}
+
+// summarizeSampling fills the Sampling section from families shaped like
+// "ApproxDecompose/h=3/exact" + "ApproxDecompose/h=3/eps=0.1" in the
+// canonical run (same label resolution as summarizeScaling). ns/op
+// aggregates by geomean over repeated -count measurements; the accuracy
+// metrics are identical across repeats (fixed seed), so an arithmetic
+// mean just collapses them.
+func (rec *Record) summarizeSampling() {
+	run := rec.Runs["after"]
+	if run == nil {
+		run = rec.Runs["current"]
+	}
+	if run == nil && len(rec.Runs) == 1 {
+		for _, r := range rec.Runs {
+			run = r
+		}
+	}
+	if run == nil {
+		return
+	}
+	type cell struct {
+		logNs  float64
+		n      int
+		extras map[string]float64
+		extraN map[string]int
+	}
+	cells := map[string]map[string]*cell{} // family -> variant ("exact" or eps value) -> cell
+	for _, b := range run.Benchmarks {
+		family, variant := "", ""
+		if f, ok := strings.CutSuffix(b.Name, "/exact"); ok {
+			family, variant = f, "exact"
+		} else if f, tail, ok := cutLast(b.Name, "/eps="); ok {
+			family, variant = f, tail
+		} else {
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		if cells[family] == nil {
+			cells[family] = map[string]*cell{}
+		}
+		c := cells[family][variant]
+		if c == nil {
+			c = &cell{extras: map[string]float64{}, extraN: map[string]int{}}
+			cells[family][variant] = c
+		}
+		c.logNs += math.Log(b.NsPerOp)
+		c.n++
+		for unit, val := range b.Extra {
+			c.extras[unit] += val
+			c.extraN[unit]++
+		}
+	}
+	for family, variants := range cells {
+		exact, ok := variants["exact"]
+		if !ok || len(variants) < 2 {
+			continue
+		}
+		exactNs := math.Exp(exact.logNs / float64(exact.n))
+		s := &Sampling{ExactNsPerOp: round2(exactNs), ByEpsilon: map[string]*SamplingEpsilon{}}
+		for eps, c := range variants {
+			if eps == "exact" {
+				continue
+			}
+			mean := func(unit string) float64 {
+				if c.extraN[unit] == 0 {
+					return 0
+				}
+				return c.extras[unit] / float64(c.extraN[unit])
+			}
+			ns := math.Exp(c.logNs / float64(c.n))
+			s.ByEpsilon[eps] = &SamplingEpsilon{
+				NsPerOp:      round2(ns),
+				Speedup:      round2(exactNs / ns),
+				MaxCoreErr:   round2(mean("max-core-err")),
+				MeanCoreErr:  round2(mean("mean-core-err")),
+				ErrBound:     round2(mean("err-bound")),
+				WithinBound:  mean("max-core-err") <= mean("err-bound"),
+				SamplesPerOp: round2(mean("samples/op")),
+			}
+		}
+		if rec.Sampling == nil {
+			rec.Sampling = map[string]*Sampling{}
+		}
+		rec.Sampling[family] = s
+	}
+}
+
+// cutLast splits s at the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
 }
 
 // Summary compares the geometric-mean ns/op of one benchmark between the

@@ -7,6 +7,7 @@
 //	khcore -h 2 -algo lbub graph.txt        # decompose an edge list
 //	khcore -h 3 -dataset jazz -histogram    # built-in dataset, histogram
 //	khcore -h 2 -dataset coli -vertices     # per-vertex core indices
+//	khcore -h 3 -dataset jazz -approx -epsilon 0.3 -seed 7   # fast approximate tier
 package main
 
 import (
@@ -33,9 +34,14 @@ func main() {
 		vertices  = flag.Bool("vertices", false, "print per-vertex core indices")
 		validate  = flag.Bool("validate", false, "independently verify the decomposition (slow)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the decomposition (and -validate); 0 = unlimited")
+		approx    = flag.Bool("approx", false, "sampling-based approximate decomposition (fast tier)")
+		epsilon   = flag.Float64("epsilon", 0, "approx: target relative error in (0,1); 0 = library default")
+		seed      = flag.Uint64("seed", 0, "approx: sampling seed (fixed seed = bit-reproducible result)")
+		budget    = flag.Int("sample-budget", 0, "approx: per-level expansion budget; 0 = derived from -epsilon")
 	)
 	flag.Parse()
-	if err := run(*h, *algo, *workers, *partition, *dataset, *timeout, *histogram, *vertices, *validate, flag.Args()); err != nil {
+	ap := khcore.ApproxOptions{Enabled: *approx, Epsilon: *epsilon, Seed: *seed, SampleBudget: *budget}
+	if err := run(*h, *algo, *workers, *partition, *dataset, *timeout, *histogram, *vertices, *validate, ap, flag.Args()); err != nil {
 		if errors.Is(err, khcore.ErrCanceled) {
 			fmt.Fprintf(os.Stderr, "khcore: timed out after %s (%v)\n", *timeout, err)
 			os.Exit(2)
@@ -45,9 +51,12 @@ func main() {
 	}
 }
 
-func run(h int, algo string, workers, partition int, dataset string, timeout time.Duration, histogram, vertices, validate bool, args []string) error {
+func run(h int, algo string, workers, partition int, dataset string, timeout time.Duration, histogram, vertices, validate bool, ap khcore.ApproxOptions, args []string) error {
 	if h < 1 {
 		return fmt.Errorf("invalid -h %d: need h ≥ 1", h)
+	}
+	if ap.Enabled && validate {
+		return fmt.Errorf("-validate checks exact core indices; an approximate decomposition would always fail it — drop -approx or -validate")
 	}
 	ctx := context.Background()
 	if timeout > 0 {
@@ -95,6 +104,7 @@ func run(h int, algo string, workers, partition int, dataset string, timeout tim
 		// -algo bz is an explicit user choice, which is exactly what the
 		// baseline gate asks for.
 		AllowBaseline: alg == khcore.HBZ,
+		Approx:        ap,
 	})
 	if err != nil {
 		return err
@@ -105,6 +115,10 @@ func run(h int, algo string, workers, partition int, dataset string, timeout tim
 		alg, h, res.MaxCoreIndex(), res.DistinctCores())
 	fmt.Printf("work: %.3fs, %d h-BFS visits, %d h-degree computations\n",
 		res.Stats.Duration.Seconds(), res.Stats.Visits, res.Stats.HDegreeComputations)
+	if st := res.Stats.Approx; st.Enabled {
+		fmt.Printf("approx: eps=%.2f conf=%.2f seed=%d budget=%d, %d samples, %d truncated balls, error bound ±%d\n",
+			st.Epsilon, st.Confidence, st.Seed, st.SampleBudget, st.SamplesDrawn, st.TruncatedBalls, st.ErrorBound)
+	}
 
 	if histogram {
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

@@ -11,13 +11,13 @@ import (
 )
 
 func TestRunOnDataset(t *testing.T) {
-	if err := run(2, "lbub", 1, 0, "coli", 0, true, false, false, nil); err != nil {
+	if err := run(2, "lbub", 1, 0, "coli", 0, true, false, false, khcore.ApproxOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, "bz", 1, 0, "coli", 0, false, false, false, nil); err != nil {
+	if err := run(2, "bz", 1, 0, "coli", 0, false, false, false, khcore.ApproxOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(1, "lb", 1, 0, "jazz", 0, false, false, true, nil); err != nil {
+	if err := run(1, "lb", 1, 0, "jazz", 0, false, false, true, khcore.ApproxOptions{}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -28,25 +28,25 @@ func TestRunOnEdgeListFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("# tri\n10 20\n20 30\n30 10\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, "lbub", 1, 0, "", 0, false, true, false, []string{path}); err != nil {
+	if err := run(2, "lbub", 1, 0, "", 0, false, true, false, khcore.ApproxOptions{}, []string{path}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(2, "lbub", 1, 0, "", 0, false, false, false, nil); err == nil {
+	if err := run(2, "lbub", 1, 0, "", 0, false, false, false, khcore.ApproxOptions{}, nil); err == nil {
 		t.Fatal("no input accepted")
 	}
-	if err := run(2, "nope", 1, 0, "coli", 0, false, false, false, nil); err == nil {
+	if err := run(2, "nope", 1, 0, "coli", 0, false, false, false, khcore.ApproxOptions{}, nil); err == nil {
 		t.Fatal("bad algorithm accepted")
 	}
-	if err := run(2, "lbub", 1, 0, "bogus", 0, false, false, false, nil); err == nil {
+	if err := run(2, "lbub", 1, 0, "bogus", 0, false, false, false, khcore.ApproxOptions{}, nil); err == nil {
 		t.Fatal("bad dataset accepted")
 	}
-	if err := run(0, "lbub", 1, 0, "coli", 0, false, false, false, nil); err == nil {
+	if err := run(0, "lbub", 1, 0, "coli", 0, false, false, false, khcore.ApproxOptions{}, nil); err == nil {
 		t.Fatal("h=0 accepted")
 	}
-	if err := run(2, "lbub", 1, 0, "", 0, false, false, false, []string{"/nonexistent/file"}); err == nil {
+	if err := run(2, "lbub", 1, 0, "", 0, false, false, false, khcore.ApproxOptions{}, []string{"/nonexistent/file"}); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -55,8 +55,25 @@ func TestRunErrors(t *testing.T) {
 // budget expires before the decomposition's first cancellation poll, so
 // run reports the typed cancellation instead of hanging or succeeding.
 func TestRunTimeout(t *testing.T) {
-	err := run(2, "lbub", 1, 0, "coli", time.Nanosecond, false, false, false, nil)
+	err := run(2, "lbub", 1, 0, "coli", time.Nanosecond, false, false, false, khcore.ApproxOptions{}, nil)
 	if !errors.Is(err, khcore.ErrCanceled) {
 		t.Fatalf("got %v, want ErrCanceled wrap", err)
+	}
+}
+
+// TestRunApprox drives the -approx flag end to end on a registry
+// dataset, and pins the two gates: approx composes with neither
+// -validate (exact-only check) nor invalid epsilon.
+func TestRunApprox(t *testing.T) {
+	ap := khcore.ApproxOptions{Enabled: true, Epsilon: 0.3, Seed: 7}
+	if err := run(2, "lbub", 1, 0, "coli", 0, false, false, false, ap, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(2, "lbub", 1, 0, "coli", 0, false, false, true, ap, nil); err == nil {
+		t.Fatal("-approx with -validate accepted")
+	}
+	bad := khcore.ApproxOptions{Enabled: true, Epsilon: -1}
+	if err := run(2, "lbub", 1, 0, "coli", 0, false, false, false, bad, nil); !errors.Is(err, khcore.ErrInvalidApprox) {
+		t.Fatalf("got %v, want ErrInvalidApprox wrap", err)
 	}
 }

@@ -9,6 +9,7 @@
 //	khexp -max-vertices 600 all      # everything, subsampled for speed
 //	khexp -workers 4 -cpuprofile cpu.prof table3   # profile the kernels
 //	khexp -dataset path/to/snap.txt table3         # a real SNAP edge list
+//	khexp -seed 7 approx             # sampling sweep: speedup vs core-index error
 package main
 
 import (

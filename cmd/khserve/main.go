@@ -14,7 +14,10 @@
 //
 //	/healthz                       liveness + graph/pool shape
 //	/decompose?h=2&algo=lbub       decomposition summary (&vertices=1 for per-vertex cores)
-//	/core?h=2&k=3                  members of the (k,h)-core C_k
+//	/decompose?h=3&mode=approx     fast tier: sampling-based approximate decomposition
+//	                               (&epsilon=0.3&seed=7&budget=17 tune it; the response's
+//	                               "approx" block reports the realized error bound)
+//	/core?h=2&k=3                  members of the (k,h)-core C_k (mode=approx works here too)
 //	/spectrum?maxh=3               per-level summaries (&vertices=1 for per-vertex vectors)
 //	/hierarchy?h=2                 nested core-component forest
 //
@@ -179,6 +182,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status, kind = http.StatusBadRequest, "unknown_algorithm"
 	case errors.Is(err, khcore.ErrBaselineGated):
 		status, kind = http.StatusBadRequest, "baseline_gated"
+	case errors.Is(err, khcore.ErrInvalidApprox):
+		status, kind = http.StatusBadRequest, "invalid_approx"
 	case errors.Is(err, khcore.ErrNilGraph):
 		status, kind = http.StatusServiceUnavailable, "nil_graph"
 	case errors.Is(err, khcore.ErrPoolClosed):
@@ -232,6 +237,52 @@ func parseAlgo(r *http.Request) (khcore.Algorithm, error) {
 	}
 }
 
+// parseApprox reads the fast-tier query parameters. mode=approx switches
+// the request to the sampling-based approximate decomposition; epsilon=,
+// seed= and budget= tune it (all optional — library defaults apply).
+// Accuracy knobs without mode=approx are rejected rather than silently
+// ignored: a client that asks for epsilon= and gets exact-mode latency
+// should hear about the typo.
+func parseApprox(r *http.Request) (khcore.ApproxOptions, error) {
+	q := r.URL.Query()
+	var ap khcore.ApproxOptions
+	switch m := q.Get("mode"); m {
+	case "", "exact":
+		for _, p := range []string{"epsilon", "seed", "budget"} {
+			if q.Get(p) != "" {
+				return ap, fmt.Errorf("%w: %s= requires mode=approx", khcore.ErrInvalidApprox, p)
+			}
+		}
+		return ap, nil
+	case "approx":
+		ap.Enabled = true
+	default:
+		return ap, fmt.Errorf("%w: mode=%q (want exact or approx)", khcore.ErrInvalidApprox, m)
+	}
+	if v := q.Get("epsilon"); v != "" {
+		eps, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return ap, fmt.Errorf("%w: epsilon=%q", khcore.ErrInvalidApprox, v)
+		}
+		ap.Epsilon = eps
+	}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return ap, fmt.Errorf("%w: seed=%q (want an unsigned integer)", khcore.ErrInvalidApprox, v)
+		}
+		ap.Seed = seed
+	}
+	if v := q.Get("budget"); v != "" {
+		b, err := strconv.Atoi(v)
+		if err != nil {
+			return ap, fmt.Errorf("%w: budget=%q", khcore.ErrInvalidApprox, v)
+		}
+		ap.SampleBudget = b
+	}
+	return ap, nil
+}
+
 type healthzResponse struct {
 	Status   string `json:"status"`
 	Vertices int    `json:"vertices"`
@@ -249,13 +300,44 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 type decomposeResponse struct {
-	H             int    `json:"h"`
-	Algorithm     string `json:"algorithm"`
-	MaxCoreIndex  int    `json:"maxCoreIndex"`
-	DistinctCores int    `json:"distinctCores"`
-	CoreSizes     []int  `json:"coreSizes"`
-	DurationMS    int64  `json:"durationMs"`
-	Core          []int  `json:"core,omitempty"`
+	H             int          `json:"h"`
+	Algorithm     string       `json:"algorithm"`
+	MaxCoreIndex  int          `json:"maxCoreIndex"`
+	DistinctCores int          `json:"distinctCores"`
+	CoreSizes     []int        `json:"coreSizes"`
+	DurationMS    int64        `json:"durationMs"`
+	Approx        *approxBlock `json:"approx,omitempty"`
+	Core          []int        `json:"core,omitempty"`
+}
+
+// approxBlock is the quality report of a mode=approx response — the
+// resolved configuration plus the realized error bound, so a client can
+// judge whether the fast tier's answer is good enough or it should retry
+// exact.
+type approxBlock struct {
+	Epsilon        float64 `json:"epsilon"`
+	Confidence     float64 `json:"confidence"`
+	Seed           uint64  `json:"seed"`
+	SampleBudget   int     `json:"sampleBudget"`
+	SamplesDrawn   int64   `json:"samplesDrawn"`
+	TruncatedBalls int64   `json:"truncatedBalls"`
+	ErrorBound     int     `json:"errorBound"`
+	EstimateMS     int64   `json:"estimateMs"`
+	PeelMS         int64   `json:"peelMs"`
+}
+
+func newApproxBlock(st khcore.ApproxStats) *approxBlock {
+	return &approxBlock{
+		Epsilon:        st.Epsilon,
+		Confidence:     st.Confidence,
+		Seed:           st.Seed,
+		SampleBudget:   st.SampleBudget,
+		SamplesDrawn:   st.SamplesDrawn,
+		TruncatedBalls: st.TruncatedBalls,
+		ErrorBound:     st.ErrorBound,
+		EstimateMS:     st.PhaseEstimate.Milliseconds(),
+		PeelMS:         st.PhasePeel.Milliseconds(),
+	}
 }
 
 func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
@@ -275,7 +357,12 @@ func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	res, err := s.pool.Decompose(ctx, khcore.Options{H: h, Algorithm: algo})
+	ap, err := parseApprox(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := s.pool.Decompose(ctx, khcore.Options{H: h, Algorithm: algo, Approx: ap})
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -287,6 +374,9 @@ func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		DistinctCores: res.DistinctCores(),
 		CoreSizes:     res.CoreSizes(),
 		DurationMS:    res.Stats.Duration.Milliseconds(),
+	}
+	if res.Stats.Approx.Enabled {
+		resp.Approx = newApproxBlock(res.Stats.Approx)
 	}
 	if r.URL.Query().Get("vertices") != "" {
 		resp.Core = res.Core
@@ -314,6 +404,11 @@ func (s *server) handleCore(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	ap, err := parseApprox(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	k := 1
 	if v := r.URL.Query().Get("k"); v != "" {
 		var perr error
@@ -322,7 +417,7 @@ func (s *server) handleCore(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, err := s.pool.Decompose(ctx, khcore.Options{H: h})
+	res, err := s.pool.Decompose(ctx, khcore.Options{H: h, Approx: ap})
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -215,3 +215,88 @@ func TestConcurrentLoad(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDecomposeApproxMode exercises the fast tier end to end: a
+// mode=approx request must succeed, report the quality block with the
+// resolved configuration, return per-vertex cores whose worst error
+// against the library's exact result stays inside the reported bound, and
+// be bit-reproducible for a fixed seed.
+func TestDecomposeApproxMode(t *testing.T) {
+	s, g := testServer(t, 2)
+	h := s.handler()
+	exact, err := khcore.Decompose(g, khcore.Options{H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body decomposeResponse
+	resp := get(t, h, "/decompose?h=3&mode=approx&epsilon=0.3&seed=7&vertices=1", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if body.Approx == nil {
+		t.Fatal("approx block missing from mode=approx response")
+	}
+	if body.Approx.Epsilon != 0.3 || body.Approx.Seed != 7 || body.Approx.SampleBudget != khcore.SampleBudgetFor(0.3, 0.9) {
+		t.Fatalf("approx block did not echo the resolved config: %+v", body.Approx)
+	}
+	if body.Approx.SamplesDrawn <= 0 || body.Approx.ErrorBound < 1 {
+		t.Fatalf("approx quality counters not populated: %+v", body.Approx)
+	}
+	worst := 0
+	for v := range exact.Core {
+		d := body.Core[v] - exact.Core[v]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > body.Approx.ErrorBound {
+		t.Fatalf("observed error %d exceeds reported bound %d", worst, body.Approx.ErrorBound)
+	}
+	var again decomposeResponse
+	get(t, h, "/decompose?h=3&mode=approx&epsilon=0.3&seed=7&vertices=1", &again)
+	for v := range body.Core {
+		if body.Core[v] != again.Core[v] {
+			t.Fatalf("same-seed approx responses differ at vertex %d", v)
+		}
+	}
+	// Exact responses must not carry the block.
+	var ex decomposeResponse
+	get(t, h, "/decompose?h=2", &ex)
+	if ex.Approx != nil {
+		t.Fatal("exact response carries an approx block")
+	}
+	// The fast tier serves /core too.
+	var cb coreResponse
+	if resp := get(t, h, "/core?h=3&k=2&mode=approx&seed=7", &cb); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/core mode=approx status %d", resp.StatusCode)
+	}
+	if cb.Size == 0 {
+		t.Fatal("approx /core returned an empty (2,3)-core on a BA graph")
+	}
+}
+
+// TestApproxRequestValidation pins the invalid_approx error mapping.
+func TestApproxRequestValidation(t *testing.T) {
+	s, _ := testServer(t, 1)
+	h := s.handler()
+	for _, url := range []string{
+		"/decompose?mode=nope",
+		"/decompose?mode=approx&epsilon=2",
+		"/decompose?mode=approx&epsilon=x",
+		"/decompose?mode=approx&seed=-1",
+		"/decompose?mode=approx&budget=-2",
+		"/decompose?epsilon=0.3", // knob without mode=approx
+		"/decompose?mode=approx&algo=lb",
+		"/core?mode=approx&epsilon=1.5",
+	} {
+		var body errorBody
+		resp := get(t, h, url, &body)
+		if resp.StatusCode != http.StatusBadRequest || body.Kind != "invalid_approx" {
+			t.Errorf("%s: got status %d kind %q, want 400 invalid_approx (error: %s)",
+				url, resp.StatusCode, body.Kind, body.Error)
+		}
+	}
+}

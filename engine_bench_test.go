@@ -144,3 +144,110 @@ func BenchmarkEngineSpectrum(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkApproxDecompose is the accuracy/latency frontier behind
+// BENCH_sampling.json: one warm single-worker engine, h ∈ {2, 3}, the
+// exact h-LB+UB run as the baseline sub-benchmark and one sub-benchmark
+// per epsilon. Every approximate sub-benchmark reports the observed
+// core-index error against the exact result as custom metrics
+// (max-core-err, mean-core-err) next to the run's advertised bound
+// (err-bound) and sampling effort (samples/op), so the recorded JSON
+// carries the accuracy axis, not just the time axis. benchjson's sampling
+// section divides the exact baseline by each epsilon's ns/op to get the
+// speedup column.
+func BenchmarkApproxDecompose(b *testing.B) {
+	g := benchGraph()
+	for _, h := range []int{2, 3} {
+		b.Run(fmt.Sprintf("h=%d", h), func(b *testing.B) {
+			eng := khcore.NewEngine(g, 1)
+			defer eng.Close()
+			exactOpts := khcore.Options{H: h, Workers: 1}
+			var exact khcore.Result
+			if err := eng.DecomposeInto(&exact, exactOpts); err != nil {
+				b.Fatal(err)
+			}
+			exactCore := append([]int(nil), exact.Core...)
+			b.Run("exact", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := eng.DecomposeInto(&exact, exactOpts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			for _, eps := range []float64{0.1, 0.2, 0.3, 0.5} {
+				b.Run(fmt.Sprintf("eps=%.1f", eps), func(b *testing.B) {
+					opts := khcore.Options{H: h, Workers: 1,
+						Approx: khcore.ApproxOptions{Enabled: true, Epsilon: eps, Seed: 1}}
+					var res khcore.Result
+					if err := eng.DecomposeInto(&res, opts); err != nil {
+						b.Fatal(err)
+					}
+					maxErr, sumErr := 0, 0
+					for v, c := range res.Core {
+						d := c - exactCore[v]
+						if d < 0 {
+							d = -d
+						}
+						if d > maxErr {
+							maxErr = d
+						}
+						sumErr += d
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := eng.DecomposeInto(&res, opts); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(maxErr), "max-core-err")
+					b.ReportMetric(float64(sumErr)/float64(len(res.Core)), "mean-core-err")
+					b.ReportMetric(float64(res.Stats.Approx.ErrorBound), "err-bound")
+					b.ReportMetric(float64(res.Stats.Approx.SamplesDrawn), "samples/op")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkUBAblation measures what the Algorithm 5 power-graph bound
+// buys over the raw h-degree bound (Options.UpperBound = HDegreeUB): the
+// h-degree bound skips the whole Algorithm 5 pass but yields looser
+// partitions, so the interval peeling does more work. Each sub-benchmark
+// reports the partition count and the ub/intervals phase split; the
+// recorded numbers live in BENCH_parallel.json's notes.
+func BenchmarkUBAblation(b *testing.B) {
+	g := benchGraph()
+	for _, ub := range []struct {
+		name string
+		kind khcore.UpperBoundKind
+	}{{"ub=power", khcore.PowerUB}, {"ub=hdeg", khcore.HDegreeUB}} {
+		b.Run(ub.name, func(b *testing.B) {
+			eng := khcore.NewEngine(g, 1)
+			defer eng.Close()
+			opts := khcore.Options{H: 2, Workers: 1, UpperBound: ub.kind}
+			var res khcore.Result
+			if err := eng.DecomposeInto(&res, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var ubTime, ivals time.Duration
+			var parts int64
+			for i := 0; i < b.N; i++ {
+				if err := eng.DecomposeInto(&res, opts); err != nil {
+					b.Fatal(err)
+				}
+				ubTime += res.Stats.PhaseUpperBound
+				ivals += res.Stats.PhaseIntervals
+				parts += int64(res.Stats.Partitions)
+			}
+			n := float64(b.N)
+			b.ReportMetric(float64(ubTime.Nanoseconds())/n, "phase-ub-ns/op")
+			b.ReportMetric(float64(ivals.Nanoseconds())/n, "phase-intervals-ns/op")
+			b.ReportMetric(float64(parts)/n, "partitions/op")
+		})
+	}
+}

@@ -136,6 +136,12 @@ type Options struct {
 	// LowerBound and UpperBound select ablation variants (Table 5).
 	LowerBound LowerBoundKind
 	UpperBound UpperBoundKind
+	// Approx switches the run to the sampling-based approximate
+	// decomposition (see ApproxOptions). Requires the default HLBUB
+	// algorithm; the result approximates the exact core indices with the
+	// error semantics documented on ApproxOptions, and Stats.Approx
+	// carries the run's quality report.
+	Approx ApproxOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -145,6 +151,7 @@ func (o Options) withDefaults() Options {
 	if o.PartitionSize < 0 {
 		o.PartitionSize = 0 // adaptive, resolved against the UB histogram in Algorithm 4
 	}
+	o.Approx = o.Approx.withDefaults()
 	return o
 }
 
@@ -188,6 +195,10 @@ type Stats struct {
 	PhaseLowerBounds time.Duration
 	PhaseUpperBound  time.Duration
 	PhaseIntervals   time.Duration
+
+	// Approx is the quality report of an approximate run (zero for exact
+	// runs; Approx.Enabled distinguishes the two).
+	Approx ApproxStats
 }
 
 // absorb folds a solver's work counters into the aggregate and zeroes the
@@ -342,10 +353,23 @@ type Engine struct {
 	// frontier (the drained bucket), one touched-vertex list per pool
 	// worker for the post-round re-bucket pass, and the ball callback —
 	// bound once at construction, like parJob, to keep runs
-	// allocation-free.
+	// allocation-free. ubStamp[v] holds the round that last claimed v for
+	// re-bucketing (claimed by CAS, so each touched vertex lands in
+	// exactly one worker's pending list and the serial re-bucket pass
+	// processes unique vertices only), ubRound the current round number,
+	// and ubDecs the per-worker decrement tallies (strided to keep the
+	// hot counters off one cache line) that replace the per-entry
+	// counting the deduplicated lists can no longer provide.
 	ubFrontier []int32
 	ubTouched  [][]int32
+	ubStamp    []int32
+	ubRound    int32
+	ubDecs     []int64
 	ubBallJob  hbfs.BallFunc
+
+	// Approximate-peel scratch: per-vertex fractional decrement carry
+	// (see approxPeel).
+	approxResid []float64
 
 	// bcast is the lock-free settled-vertex broadcast for the parallel
 	// interval path: bcast[v] holds core(v)+1 once some interval solver
@@ -409,24 +433,36 @@ func NewEngine(g *graph.Graph, workers int) *Engine {
 	}
 	// Ball callback of the level-synchronous Algorithm-5 rounds: decrement
 	// the approximate h-degree of every still-queued member of a popped
-	// vertex's h-ball and note it in this worker's touched list. The
-	// bucket queue is only probed (Contains is a plain array read and the
-	// queue is not mutated during a fan-out), the decrement is atomic
-	// because several balls may hit the same vertex, and the touched lists
-	// are per-worker, so the callback is data-race-free by construction.
+	// vertex's h-ball and claim first-touched vertices into this worker's
+	// pending list. The bucket queue is only probed (Contains is a plain
+	// array read and the queue is not mutated during a fan-out), the
+	// decrement is atomic because several balls may hit the same vertex,
+	// and the round-stamp CAS gives every touched vertex exactly one list
+	// slot — the stamp's only transition within a round is to the round
+	// number, so a failed CAS always means another worker owns the vertex.
+	// Decrement counts go to the worker's own tally; the callback stays
+	// data-race-free by construction.
 	e.ubTouched = make([][]int32, e.pool.Workers())
+	e.ubDecs = make([]int64, e.pool.Workers()*ubDecStride)
 	e.ubBallJob = func(worker int, v int32, ball []int32, shellStart int) {
 		q := e.sv[0].q
 		ubdeg := e.ubdeg
+		round := e.ubRound
 		touched := e.ubTouched[worker]
+		var decs int64
 		for _, nb := range ball {
 			if !q.Contains(int(nb)) {
 				continue
 			}
 			atomic.AddInt32(&ubdeg[nb], -1)
-			touched = append(touched, nb)
+			decs++
+			if prev := atomic.LoadInt32(&e.ubStamp[nb]); prev != round &&
+				atomic.CompareAndSwapInt32(&e.ubStamp[nb], prev, round) {
+				touched = append(touched, nb)
+			}
 		}
 		e.ubTouched[worker] = touched
+		e.ubDecs[worker*ubDecStride] += decs
 	}
 	// The batch workers poll the same broadcast between chunks, so a
 	// canceled run drains the in-flight batch instead of finishing it; the
@@ -468,6 +504,18 @@ func growInt32(s []int32, n int) []int32 {
 	}
 	return s[:n]
 }
+
+// growFloat64 is growInt32 for float64 scratch.
+func growFloat64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// ubDecStride spaces the per-worker Algorithm-5 decrement tallies eight
+// int64s apart so concurrent workers never bounce one cache line.
+const ubDecStride = 8
 
 // Decompose runs one (k,h)-core decomposition and returns a fresh Result.
 // Options.Workers is ignored — the pool size was fixed by NewEngine.
@@ -518,18 +566,29 @@ func (e *Engine) DecomposeIntoCtx(ctx context.Context, res *Result, opts Options
 		return fmt.Errorf("%w: h-BZ is the paper's baseline and ~45× slower than h-LB+UB; "+
 			"set Options.AllowBaseline to run it deliberately", ErrBaselineGated)
 	}
+	if opts.Approx.Enabled {
+		if err := opts.Approx.validate(); err != nil {
+			return err
+		}
+		if opts.Algorithm != HLBUB {
+			return fmt.Errorf("%w: approximate mode requires the default h-LB+UB algorithm, got %s",
+				ErrInvalidApprox, opts.Algorithm)
+		}
+	}
 	e.cancel.bindRun(ctx)
 	if e.cancel.stop() {
 		return CanceledError(ctx) // dead on arrival: don't touch the engine state
 	}
 	start := time.Now()
 	e.beginRun(opts)
-	switch opts.Algorithm {
-	case HBZ:
+	switch {
+	case opts.Approx.Enabled:
+		e.runApprox()
+	case opts.Algorithm == HBZ:
 		e.runHBZ()
-	case HLB:
+	case opts.Algorithm == HLB:
 		e.runHLB()
-	case HLBUB:
+	default:
 		e.runHLBUB()
 	}
 	for _, s := range e.sv {

@@ -33,6 +33,12 @@ var (
 	ErrCanceled = errors.New("khcore: canceled")
 	// ErrPoolClosed is returned by EnginePool operations after Close.
 	ErrPoolClosed = errors.New("khcore: engine pool closed")
+	// ErrInvalidApprox is returned for an invalid Options.Approx
+	// configuration: Epsilon or Confidence outside (0, 1), a negative
+	// SampleBudget, combining approximate mode with a non-default
+	// algorithm, or requesting it from an exact-only surface (the
+	// Maintainer and the spectrum API).
+	ErrInvalidApprox = errors.New("khcore: invalid approximate-mode options")
 )
 
 // CanceledError wraps a context's cancellation cause so that the result

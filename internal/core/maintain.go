@@ -59,6 +59,12 @@ func NewMaintainerCtx(ctx context.Context, g *graph.Graph, h int, opts Options) 
 	if g == nil {
 		return nil, fmt.Errorf("%w: NewMaintainer", ErrNilGraph)
 	}
+	if opts.Approx.Enabled {
+		// Incremental maintenance carries exact bounds across updates;
+		// seeding it from approximate indices would silently corrupt
+		// every subsequent delta.
+		return nil, fmt.Errorf("%w: approximate mode is not supported for dynamic maintenance", ErrInvalidApprox)
+	}
 	opts.H = h
 	opts.Algorithm = HLBUB
 	m := &Maintainer{h: h, opts: opts, g: g, n: g.NumVertices(), edges: make(map[[2]int32]struct{}, g.NumEdges())}

@@ -70,6 +70,12 @@ func (e *Engine) DecomposeSpectrumCtx(ctx context.Context, maxH int, opts Option
 	if maxH < 1 {
 		return nil, fmt.Errorf("%w: maxH=%d (need maxH ≥ 1)", ErrInvalidH, maxH)
 	}
+	if opts.Approx.Enabled {
+		// The spectrum sweep seeds each level with the previous level's
+		// exact indices (a containment argument that does not survive
+		// estimation error), so it is an exact-only surface.
+		return nil, fmt.Errorf("%w: approximate mode is not supported for the spectrum sweep", ErrInvalidApprox)
+	}
 	sp := &Spectrum{MaxH: maxH, Core: make([][]int, maxH)}
 	var prev []int32
 	var res Result

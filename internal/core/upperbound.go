@@ -124,16 +124,27 @@ func (e *Engine) powerPeelSerial(ub, ubdeg []int32, q *bucketQueue, order []int)
 // each other (both left the queue together), mirroring the serial
 // no-op-on-popped rule.
 //
-// Each worker records the vertices it decremented in a per-worker touched
-// list; after the fan-out joins, a serial pass re-buckets them at
-// max(ubdeg, k). Duplicate entries (several popped balls containing the
-// same vertex) re-move it to the bucket it is already in, a no-op.
-// Frontiers smaller than the pool's batchMin run inline on worker 0
-// inside Pool.Balls, so the frequent tiny rounds of a skewed bound
-// distribution never pay helper wake-ups.
+// Each worker claims the vertices it decrements first (a CAS on the
+// per-vertex round stamp) into a per-worker pending list; after the
+// fan-out joins, a serial pass re-buckets each touched vertex exactly
+// once at max(ubdeg, k). The dedup shrinks the serial residue of a round
+// from one move per decrement to one move per distinct touched vertex —
+// on ball-heavy rounds the former is many times the latter — while the
+// per-worker decrement tallies keep Stats.Decrements identical to the
+// serial peel. Frontiers smaller than the pool's batchMin run inline on
+// worker 0 inside Pool.Balls, so the frequent tiny rounds of a skewed
+// bound distribution never pay helper wake-ups.
 func (e *Engine) powerPeelParallel(ub, ubdeg []int32, q *bucketQueue) {
 	n := len(ub)
 	e.ubFrontier = growInt32(e.ubFrontier, n)[:0]
+	e.ubStamp = growInt32(e.ubStamp, n)
+	for i := range e.ubStamp {
+		e.ubStamp[i] = 0
+	}
+	e.ubRound = 0
+	for i := range e.ubDecs {
+		e.ubDecs[i] = 0
+	}
 	k := 0
 	for q.Len() > 0 {
 		if e.cancel.stop() {
@@ -161,18 +172,17 @@ func (e *Engine) powerPeelParallel(ub, ubdeg []int32, q *bucketQueue) {
 		for w := range e.ubTouched {
 			e.ubTouched[w] = e.ubTouched[w][:0]
 		}
+		e.ubRound++
 		// Fan the frontier's h-balls across the workers. The bucket queue
 		// is read-only for the duration (Contains probes only); ubdeg
-		// updates go through atomics, and every decrement is recorded in
-		// the decrementing worker's touched list.
+		// updates go through atomics, and each touched vertex is claimed
+		// into exactly one worker's pending list via the round stamp.
 		e.pool.Balls(frontier, e.h, nil, e.ubBallJob)
-		// Serial re-bucket of everything the round touched. The WaitGroup
-		// join inside Balls orders the workers' atomic decrements before
-		// these plain reads.
+		// Serial re-bucket of the round's distinct touched vertices. The
+		// WaitGroup join inside Balls orders the workers' atomic
+		// decrements and stamp claims before these plain reads.
 		for w := range e.ubTouched {
-			touched := e.ubTouched[w]
-			e.stats.Decrements += int64(len(touched))
-			for _, u := range touched {
+			for _, u := range e.ubTouched[w] {
 				nk := int(ubdeg[u])
 				if nk < k {
 					nk = k
@@ -180,6 +190,9 @@ func (e *Engine) powerPeelParallel(ub, ubdeg []int32, q *bucketQueue) {
 				q.move(int(u), nk)
 			}
 		}
+	}
+	for w := 0; w < len(e.ubDecs); w += ubDecStride {
+		e.stats.Decrements += e.ubDecs[w]
 	}
 }
 

@@ -290,7 +290,7 @@ func TestRunnerDispatch(t *testing.T) {
 	if err := Run("bogus", cfg, &buf); err == nil {
 		t.Fatal("unknown id accepted")
 	}
-	if len(IDs()) != 12 {
-		t.Fatalf("expected 12 experiments, got %v", IDs())
+	if len(IDs()) != 13 {
+		t.Fatalf("expected 13 experiments, got %v", IDs())
 	}
 }

@@ -26,6 +26,7 @@ func TestRenderersFromStructuredRows(t *testing.T) {
 		RenderFig5([]Fig5Row{{Size: 100, H: 2, Runtime: time.Second, Visits: 9}}),
 		RenderFig6([]Fig6Row{{Dataset: "x", H: 2, Spearman: 0.5, Movers: 0.1}}),
 		RenderFig7([]Fig7Row{{Dataset: "x", H: 2, Spearman: 0.8}}),
+		RenderApprox([]ApproxRow{{Dataset: "x", H: 3, Epsilon: 0.3, Budget: 17, ExactTime: time.Second, ApproxTime: time.Millisecond, Speedup: 1000, MaxErr: 3, MeanErr: 0.5, Bound: 9, Truncated: 40}}),
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {
@@ -47,8 +48,8 @@ func TestRenderersFromStructuredRows(t *testing.T) {
 		}
 		ids[tab.ID] = true
 	}
-	if len(ids) != 12 {
-		t.Fatalf("expected 12 distinct artifact ids, got %d", len(ids))
+	if len(ids) != 13 {
+		t.Fatalf("expected 13 distinct artifact ids, got %d", len(ids))
 	}
 }
 

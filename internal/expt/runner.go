@@ -31,6 +31,7 @@ var runners = map[string]func(Config) (*Table, error){
 	"fig5":   func(c Config) (*Table, error) { r, err := Fig5(c); return render(RenderFig5(r), err) },
 	"fig6":   func(c Config) (*Table, error) { r, err := Fig6(c); return render(RenderFig6(r), err) },
 	"fig7":   func(c Config) (*Table, error) { r, err := Fig7(c); return render(RenderFig7(r), err) },
+	"approx": func(c Config) (*Table, error) { r, err := Approx(c); return render(RenderApprox(r), err) },
 }
 
 func render(t *Table, err error) (*Table, error) {
@@ -73,6 +74,7 @@ func RunAllCtx(ctx context.Context, cfg Config, w io.Writer) error {
 	order := []string{
 		"table1", "table2", "table3", "table4", "table5",
 		"fig3", "fig4", "fig5", "table6", "table7", "fig6", "fig7",
+		"approx",
 	}
 	for _, id := range order {
 		if err := RunCtx(ctx, id, cfg, w); err != nil {

@@ -186,3 +186,74 @@ func TestSnowball(t *testing.T) {
 		t.Fatal("snowball of empty graph")
 	}
 }
+
+// graphsIdentical compares two graphs structurally, adjacency order
+// included — the bit-level reproducibility the benchmark harness and the
+// approximate mode's seeded pipelines rely on.
+func graphsIdentical(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestErdosRenyiSeedDeterminism pins the G(n,m) generator's seed
+// contract: equal seeds rebuild the identical graph, different seeds
+// sample a different one.
+func TestErdosRenyiSeedDeterminism(t *testing.T) {
+	a := ErdosRenyi(500, 2000, 12)
+	b := ErdosRenyi(500, 2000, 12)
+	if !graphsIdentical(a, b) {
+		t.Fatal("ErdosRenyi diverged on equal seeds")
+	}
+	if a.NumEdges() != 2000 {
+		t.Fatalf("edge count %d, want 2000", a.NumEdges())
+	}
+	if graphsIdentical(a, ErdosRenyi(500, 2000, 13)) {
+		t.Fatal("ErdosRenyi identical across different seeds")
+	}
+}
+
+// TestSnowballSeedDeterminism pins the snowball sampler's seed contract:
+// equal seeds reproduce both the subgraph and the vertex mapping bit for
+// bit, different seeds start from a different ego and sample differently.
+func TestSnowballSeedDeterminism(t *testing.T) {
+	g := BarabasiAlbert(400, 3, 77)
+	s1, o1 := Snowball(g, 120, 9)
+	s2, o2 := Snowball(g, 120, 9)
+	if !graphsIdentical(s1, s2) {
+		t.Fatal("Snowball subgraphs diverged on equal seeds")
+	}
+	if len(o1) != len(o2) {
+		t.Fatalf("mapping lengths differ: %d vs %d", len(o1), len(o2))
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("orig[%d] differs on equal seeds: %d vs %d", i, o1[i], o2[i])
+		}
+	}
+	s3, o3 := Snowball(g, 120, 10)
+	sameMap := len(o1) == len(o3)
+	if sameMap {
+		for i := range o1 {
+			if o1[i] != o3[i] {
+				sameMap = false
+				break
+			}
+		}
+	}
+	if sameMap && graphsIdentical(s1, s3) {
+		t.Fatal("Snowball identical across different seeds")
+	}
+}

@@ -55,6 +55,21 @@ type Traversal struct {
 	// visits counts vertices enqueued across all searches performed by
 	// this traversal since construction or the last ResetVisits.
 	visits int64
+	// expansions / truncs are the sampled-kernel work counters (see
+	// sampled.go): frontier vertices actually expanded, and frontiers the
+	// budget subsampled. Reset together with visits.
+	expansions int64
+	truncs     int64
+	// blockEnd / blockWeight are the per-level scratch of SampledBall
+	// (≤ h entries; the exact kernels use levels instead).
+	blockEnd    []int32
+	blockWeight []float64
+	// fresh is a second bitset marking only the current level's
+	// discoveries during a subsampled SampledBall expansion (the
+	// edge-endpoint counter behind the coverage inversion). Same
+	// all-zero-between-uses invariant as seen; sized lazily because the
+	// exact kernels never touch it.
+	fresh []uint64
 }
 
 // NewTraversal returns a Traversal with scratch sized for g.
@@ -102,8 +117,9 @@ func (t *Traversal) clearSeen(q []int32) {
 // traversal's searches (truncated searches count only what they explored).
 func (t *Traversal) Visits() int64 { return t.visits }
 
-// ResetVisits zeroes the visit counter.
-func (t *Traversal) ResetVisits() { t.visits = 0 }
+// ResetVisits zeroes the visit counter along with the sampled-kernel
+// expansion and truncation counters.
+func (t *Traversal) ResetVisits() { t.visits, t.expansions, t.truncs = 0, 0, 0 }
 
 // AddVisits adds n to the visit counter; used by algorithms that account
 // for work performed outside a BFS (e.g. neighbor-list decrements).

@@ -63,6 +63,15 @@ type poolShared struct {
 	out   []int32
 	cap   int // 0 = exact h-degrees, > 0 = capped kernel
 
+	// Sampled-batch mode (HDegreesSampled): when sampled is true the
+	// drain runs the budgeted estimation kernel instead of the exact one.
+	// Per-vertex RNG streams are derived from sampleSeed inside the
+	// kernel, so the estimates are independent of which worker — or how
+	// many workers — evaluate them.
+	sampled      bool
+	sampleBudget int
+	sampleSeed   uint64
+
 	// job, when non-nil, replaces the batch drain: each woken worker calls
 	// job(workerIndex, traversal) exactly once (Run). Published and cleared
 	// under the same wake/wg ordering as the batch fields.
@@ -229,9 +238,12 @@ func (s *poolShared) run(t *Traversal) {
 			if s.alive == nil || s.alive.Contains(int(v)) {
 				evaluated++
 			}
-			if s.cap > 0 {
+			switch {
+			case s.sampled:
+				s.out[v] = int32(t.HDegreeSampled(int(v), s.h, s.alive, s.sampleBudget, s.sampleSeed))
+			case s.cap > 0:
 				s.out[v] = int32(t.HDegreeCapped(int(v), s.h, s.alive, s.cap))
-			} else {
+			default:
 				s.out[v] = int32(t.HDegree(int(v), s.h, s.alive))
 			}
 		}
@@ -319,6 +331,26 @@ func (p *Pool) Visits() int64 {
 	return total
 }
 
+// Expansions returns the cumulative sampled-kernel frontier expansions
+// across all workers (the approximate mode's "samples drawn").
+func (p *Pool) Expansions() int64 {
+	var total int64
+	for _, t := range p.s.travs {
+		total += t.Expansions()
+	}
+	return total
+}
+
+// Truncations returns the cumulative number of frontiers the sampling
+// budget subsampled across all workers.
+func (p *Pool) Truncations() int64 {
+	var total int64
+	for _, t := range p.s.travs {
+		total += t.Truncations()
+	}
+	return total
+}
+
 // ResetVisits zeroes all worker counters.
 func (p *Pool) ResetVisits() {
 	for _, t := range p.s.travs {
@@ -383,6 +415,22 @@ func (p *Pool) HDegreesCapped(verts []int32, h int, alive *vset.Set, cap int, ou
 	return p.batch(verts, h, alive, out, cap)
 }
 
+// HDegreesSampled is the batched estimation kernel behind the approximate
+// decomposition mode: out[v] ≈ deg^h_{G[alive]}(v) for every v in verts,
+// each estimate drawn from the budgeted sampled BFS of Traversal.
+// HDegreeSampled under the per-vertex stream of seed. Because a vertex's
+// stream depends only on (seed, v), the output array is bit-identical for
+// any worker count and any chunk interleaving — the parallel schedule
+// decides who computes an estimate, never what it is. budget ≤ 0 degrades
+// to the exact batch kernel. Returns the number of live sources evaluated.
+func (p *Pool) HDegreesSampled(verts []int32, h int, alive *vset.Set, budget int, seed uint64, out []int32) int64 {
+	s := p.s
+	s.sampled, s.sampleBudget, s.sampleSeed = true, budget, seed
+	evaluated := p.batch(verts, h, alive, out, 0)
+	s.sampled, s.sampleBudget, s.sampleSeed = false, 0, 0
+	return evaluated
+}
+
 func (p *Pool) batch(verts []int32, h int, alive *vset.Set, out []int32, cap int) int64 {
 	if len(verts) == 0 {
 		return 0
@@ -398,9 +446,12 @@ func (p *Pool) batch(verts []int32, h int, alive *vset.Set, out []int32, cap int
 			if alive == nil || alive.Contains(int(v)) {
 				evaluated++
 			}
-			if cap > 0 {
+			switch {
+			case s.sampled:
+				out[v] = int32(t.HDegreeSampled(int(v), h, alive, s.sampleBudget, s.sampleSeed))
+			case cap > 0:
 				out[v] = int32(t.HDegreeCapped(int(v), h, alive, cap))
-			} else {
+			default:
 				out[v] = int32(t.HDegree(int(v), h, alive))
 			}
 		}

@@ -1,0 +1,287 @@
+// Sampled h-degree estimation kernels: budgeted h-bounded BFS that
+// estimates the size of a ball from a uniform subsample of each frontier
+// instead of expanding it exhaustively. This is the kernel layer of the
+// approximate decomposition mode (Tatti, "Fast computation of
+// distance-generalized cores using sampling"): the per-vertex ball cost is
+// the floor every exact algorithm in this repository bottoms out at, and
+// sampling is the one lever that moves it.
+//
+// Estimator. Each BFS level expands at most `budget` frontier vertices,
+// chosen uniformly without replacement. Naive Horvitz–Thompson scaling
+// (unique discoveries × frontier/budget) overestimates dense
+// neighborhoods catastrophically, because a next-level vertex with many
+// parents in the frontier is discovered by almost any subsample — the
+// sample's unique count is nearly the true level size already, and
+// scaling it up again counts the overlap as if it were new mass. The
+// kernel therefore inverts the coverage process instead: alongside the
+// unique discoveries X it counts the sampled edge-endpoints T into the
+// next level, extrapolates the level's total incoming-edge mass
+// a = T/f (f the fraction of the true frontier expanded), and solves
+//
+//	X = L · (1 − (1−f)^(a/L))
+//
+// for the true level size L — the expected unique count when a edge
+// endpoints spread over L vertices and each frontier vertex is expanded
+// with probability f. Every visited member of the level then carries the
+// Horvitz–Thompson weight L/X. A level whose whole (undiluted) frontier
+// fits the budget skips all of this and is exact; with a budget no
+// frontier exceeds, the kernel degrades to the exact Ball traversal —
+// never away from it.
+//
+// Determinism contract: every sample is drawn from a SampleRNG stream
+// derived from (seed, source vertex) alone, so for a fixed seed the
+// sampled ball of a vertex — and therefore every estimate — is
+// bit-identical no matter which pool worker runs it, in what order, or at
+// what GOMAXPROCS. Floating-point reductions go through explicit float64
+// conversions so the compiler cannot fuse multiply-adds differently
+// across architectures.
+package hbfs
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/vset"
+)
+
+// SampleRNG is a splitmix64 stream used by the sampled kernels. Streams
+// are split per (seed, vertex): ForVertex derives a stateful stream whose
+// outputs depend only on the seed and the vertex id, which is what makes
+// sampled results bit-reproducible at any worker count.
+type SampleRNG struct {
+	state uint64
+}
+
+// ForVertex returns the sampling stream of vertex v under seed. The
+// derivation hashes the pair so per-vertex streams are well separated even
+// for adjacent ids and a zero seed.
+func ForVertex(seed uint64, v int32) SampleRNG {
+	z := seed ^ (uint64(v)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return SampleRNG{state: z ^ (z >> 31)}
+}
+
+// next advances the stream (splitmix64 step).
+func (r *SampleRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n) via the multiply-shift reduction.
+func (r *SampleRNG) intn(n int) int {
+	hi, _ := bits.Mul64(r.next(), uint64(n))
+	return int(hi)
+}
+
+// BallSample is the result of one budgeted h-BFS. All slices alias the
+// traversal's scratch and are valid only until its next search.
+type BallSample struct {
+	// Verts holds the sampled ball members (source excluded) in
+	// (distance, discovery) order. Within a subsampled frontier the
+	// discovery order is the sampling order, not adjacency order.
+	Verts []int32
+	// BlockEnd[d-1] is the index one past the distance-d block in Verts.
+	BlockEnd []int32
+	// BlockWeight[d-1] is the Horvitz–Thompson weight of every distance-d
+	// member: the number of true ball members it represents (1.0 while
+	// the traversal is still exact).
+	BlockWeight []float64
+	// Estimate is the ball-size estimate Σ_d L_d (the per-level true-size
+	// estimates), clamped to n−1. It equals the exact h-degree whenever
+	// Truncated is false.
+	Estimate float64
+	// Truncated reports whether any frontier was subsampled.
+	Truncated bool
+}
+
+// freshTest / freshMark / freshClear manage the current-level discovery
+// bitset of the coverage counter.
+func (t *Traversal) freshTest(u int32) bool {
+	return t.fresh[u>>6]>>(uint(u)&63)&1 != 0
+}
+
+func (t *Traversal) freshMark(u int32) {
+	t.fresh[u>>6] |= 1 << (uint(u) & 63)
+}
+
+func (t *Traversal) freshClear(u int32) {
+	t.fresh[u>>6] &^= 1 << (uint(u) & 63)
+}
+
+// SampledBall runs an h-bounded BFS from src that expands at most budget
+// vertices per level, drawn uniformly without replacement from the level's
+// frontier by rng, and returns the sampled ball with per-level true-size
+// estimates and Horvitz–Thompson weights (see BallSample and the package
+// comment). budget ≤ 0 means unlimited — the exact Ball traversal with
+// weights of 1. The traversal's visit counter counts the vertices actually
+// enqueued; expansion and truncation counters feed the approximate mode's
+// quality report.
+//
+// The caller owns rng positioning: passing ForVertex(seed, src) makes the
+// sample a pure function of (graph, alive, h, budget, seed, src).
+func (t *Traversal) SampledBall(src, h int, alive *vset.Set, budget int, rng *SampleRNG) BallSample {
+	s := BallSample{}
+	if !t.valid(src, h, alive) {
+		return s
+	}
+	if len(t.fresh) < len(t.seen) {
+		t.fresh = make([]uint64, len(t.seen)) // one-time; all-zero invariant thereafter
+	}
+	n := t.g.NumVertices()
+	q := append(t.queue[:0], int32(src))
+	t.seenMark(int32(src))
+	t.blockEnd = t.blockEnd[:0]
+	t.blockWeight = t.blockWeight[:0]
+	est := 0.0
+	trueSize := 1.0 // estimated true size L_d of the current frontier level
+	weight := 1.0   // L_d / (visited block size)
+	levelStart, levelEnd := 0, 1
+	for d := 1; d <= h; d++ {
+		b := levelEnd - levelStart
+		if b == 0 {
+			break
+		}
+		expand := b
+		if budget > 0 && b > budget {
+			expand = budget
+			// Partial Fisher–Yates over the frontier block: the first
+			// `expand` slots become a uniform without-replacement sample.
+			// Reordering the block is safe — it is traversal scratch — but
+			// it is why sampled discovery order differs from Ball's.
+			for i := 0; i < expand; i++ {
+				j := levelStart + i + rng.intn(b-i)
+				q[levelStart+i], q[j] = q[j], q[levelStart+i]
+			}
+			s.Truncated = true
+			t.truncs++
+		}
+		// The level is exact only if the frontier is undiluted (weight 1:
+		// every true frontier member is visited) AND fully expanded.
+		// Upstream truncation dilutes the frontier, so even a full
+		// expansion of the visited block is a subsample of the true one.
+		exact := weight == 1 && expand == b
+		var T int64 // sampled edge-endpoints into the next level
+		for i := levelStart; i < levelStart+expand; i++ {
+			for _, u := range t.g.Neighbors(int(q[i])) {
+				if t.seenTest(u) {
+					if !exact && t.freshTest(u) {
+						T++
+					}
+					continue
+				}
+				if alive != nil && !alive.Contains(int(u)) {
+					continue
+				}
+				t.seenMark(u)
+				q = append(q, u)
+				if !exact {
+					t.freshMark(u)
+					T++
+				}
+			}
+		}
+		t.expansions += int64(expand)
+		x := len(q) - levelEnd // unique discoveries
+		if exact {
+			trueSize = float64(x)
+			weight = 1
+		} else {
+			for _, u := range q[levelEnd:] {
+				t.freshClear(u) // restore the all-zero invariant
+			}
+			f := float64(expand) / trueSize
+			trueSize = invertCoverage(float64(x), float64(float64(T)/f), f, float64(n-1))
+			if x > 0 {
+				weight = trueSize / float64(x)
+			} else {
+				weight = 1
+			}
+		}
+		est += trueSize
+		t.blockEnd = append(t.blockEnd, int32(len(q)))
+		t.blockWeight = append(t.blockWeight, weight)
+		levelStart, levelEnd = levelEnd, len(q)
+	}
+	t.clearSeen(q)
+	t.queue = q
+	t.visits += int64(len(q))
+	s.Verts = q[1:]
+	s.BlockEnd = t.blockEnd
+	s.BlockWeight = t.blockWeight
+	for i := range s.BlockEnd {
+		s.BlockEnd[i]-- // shift past the excluded source
+	}
+	if est > float64(n-1) {
+		est = float64(n - 1) // a ball never exceeds the vertex set
+	}
+	s.Estimate = est
+	return s
+}
+
+// invertCoverage solves x = L·(1 − (1−f)^(a/L)) for L — the population
+// size under which spreading a edge endpoints uniformly, each endpoint's
+// parent expanded with probability f, yields x unique discoveries in
+// expectation. The unique count is increasing in L and saturates at
+// −a·ln(1−f) as L→∞, so when x sits at or beyond the saturation point the
+// estimate clamps to the cap (which also bounds a level by the vertex
+// set). f ≥ 1 means full coverage: L = x exactly.
+func invertCoverage(x, a, f, cap float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return x
+	}
+	if a < x {
+		a = x
+	}
+	hi := a
+	if hi > cap {
+		hi = cap
+	}
+	lo := x
+	if lo >= hi {
+		return hi
+	}
+	ln1f := math.Log1p(-f)
+	for i := 0; i < 40; i++ {
+		mid := float64((lo + hi) / 2)
+		u := float64(mid * (1 - math.Exp(float64(a/mid*ln1f))))
+		if u < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return float64((lo + hi) / 2)
+}
+
+// HDegreeSampled estimates deg^h_{G[alive]}(src) from a budgeted sampled
+// BFS (see SampledBall) and returns the estimate rounded to the nearest
+// integer. budget ≤ 0 — or a ball whose every frontier fits the budget —
+// yields the exact h-degree. The h = 1 case is always exact: the level-0
+// frontier is the source alone and is never truncated, so the adjacency
+// fast path applies unchanged.
+func (t *Traversal) HDegreeSampled(src, h int, alive *vset.Set, budget int, seed uint64) int {
+	if !t.valid(src, h, alive) {
+		return 0
+	}
+	if h == 1 {
+		return t.hDegree1(src, alive)
+	}
+	rng := ForVertex(seed, int32(src))
+	s := t.SampledBall(src, h, alive, budget, &rng)
+	return int(s.Estimate + 0.5)
+}
+
+// Expansions returns the cumulative number of frontier vertices expanded
+// by this traversal's sampled searches (the "samples drawn" of the
+// approximate mode's quality report).
+func (t *Traversal) Expansions() int64 { return t.expansions }
+
+// Truncations returns the number of frontiers the budget subsampled.
+func (t *Traversal) Truncations() int64 { return t.truncs }

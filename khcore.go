@@ -54,6 +54,7 @@ var (
 	ErrBaselineGated    = core.ErrBaselineGated
 	ErrCanceled         = core.ErrCanceled
 	ErrPoolClosed       = core.ErrPoolClosed
+	ErrInvalidApprox    = core.ErrInvalidApprox
 )
 
 // Graph is an immutable undirected, unweighted graph in compressed
@@ -101,6 +102,19 @@ const (
 	HBZ = core.HBZ
 )
 
+// UpperBoundKind selects the upper bound h-LB+UB peels against
+// (Options.UpperBound) — the Table 5 ablation axis.
+type UpperBoundKind = core.UpperBoundKind
+
+const (
+	// PowerUB is the default Algorithm 5 power-graph bound.
+	PowerUB = core.PowerUB
+	// HDegreeUB substitutes the raw h-degree: no Algorithm 5 pass, at the
+	// cost of looser partitions. The bench-sampling ablation quantifies
+	// the trade.
+	HDegreeUB = core.HDegreeUB
+)
+
 // Options configures Decompose; see core.Options for field semantics.
 type Options = core.Options
 
@@ -110,6 +124,25 @@ type Result = core.Result
 
 // Stats describes the work a decomposition performed.
 type Stats = core.Stats
+
+// ApproxOptions configures the sampling-based approximate decomposition
+// (Options.Approx): target relative error Epsilon, Confidence, the
+// sampling Seed (equal seeds give bit-identical results at any worker
+// count), and an optional explicit per-level SampleBudget. See
+// core.ApproxOptions for the full error semantics.
+type ApproxOptions = core.ApproxOptions
+
+// ApproxStats is the quality report of an approximate run
+// (Stats.Approx): resolved knobs, samples drawn, truncated frontiers,
+// the advertised per-vertex error bound, and per-phase wall-times.
+type ApproxStats = core.ApproxStats
+
+// SampleBudgetFor derives the approximate mode's per-level expansion
+// budget from a target relative error and confidence (the value
+// ApproxOptions.SampleBudget = 0 resolves to).
+func SampleBudgetFor(epsilon, confidence float64) int {
+	return core.SampleBudgetFor(epsilon, confidence)
+}
 
 // Decompose computes the (k,h)-core decomposition of g. Options.H selects
 // the distance threshold (default 2); Options.Algorithm the strategy
