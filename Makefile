@@ -17,10 +17,22 @@ COUNT ?= 6
 # and recorded in the JSON output.
 DATASET ?=
 
-.PHONY: build test race race-parallel race-approx bench bench-parallel bench-sampling bench-smoke
+.PHONY: build test lint race race-parallel race-approx bench bench-parallel bench-sampling bench-smoke
 
 build:
 	go build ./...
+
+# lint is the pre-push check (CI's static-analysis job runs the same
+# set): go vet, then khlint — the project's invariant analyzers over the
+# whole module (see README "Invariants & static analysis"). staticcheck
+# and govulncheck run when installed; CI installs and enforces both.
+lint:
+	go vet ./...
+	go run ./cmd/khlint ./...
+	@if command -v staticcheck >/dev/null; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipped (CI enforces it)"; fi
+	@if command -v govulncheck >/dev/null; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipped (CI enforces it)"; fi
 
 test: build
 	go test ./...

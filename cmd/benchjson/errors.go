@@ -1,0 +1,11 @@
+package main
+
+import "errors"
+
+// Sentinels for the two failure families the tool distinguishes: bad
+// invocation (usage) and unparseable benchmark input. Everything else is
+// propagated I/O. Wrapped with %w per the typederr invariant.
+var (
+	errUsage = errors.New("benchjson: usage error")
+	errParse = errors.New("benchjson: parse error")
+)

@@ -53,26 +53,26 @@ func run(args []string, stdin io.Reader) error {
 		case args[i] == "-o":
 			i++
 			if i >= len(args) {
-				return fmt.Errorf("-o needs a path")
+				return fmt.Errorf("%w: -o needs a path", errUsage)
 			}
 			out = args[i]
 		case args[i] == "-dataset":
 			i++
 			if i >= len(args) {
-				return fmt.Errorf("-dataset needs a path or name")
+				return fmt.Errorf("%w: -dataset needs a path or name", errUsage)
 			}
 			dataset = args[i]
 		case args[i] == "-note":
 			i++
 			if i >= len(args) {
-				return fmt.Errorf("-note needs a string")
+				return fmt.Errorf("%w: -note needs a string", errUsage)
 			}
 			notes = append(notes, args[i])
 		case strings.Contains(args[i], "="):
 			label, path, _ := strings.Cut(args[i], "=")
 			inputs = append(inputs, [2]string{label, path})
 		default:
-			return fmt.Errorf("unrecognized argument %q (want -o out.json, -dataset path, -note text or label=bench.txt)", args[i])
+			return fmt.Errorf("%w: unrecognized argument %q (want -o out.json, -dataset path, -note text or label=bench.txt)", errUsage, args[i])
 		}
 	}
 
@@ -472,7 +472,7 @@ func parseRun(r io.Reader) (*parsedRun, error) {
 		return nil, err
 	}
 	if len(run.benches) == 0 {
-		return nil, fmt.Errorf("no benchmark result lines found")
+		return nil, fmt.Errorf("%w: no benchmark result lines found", errParse)
 	}
 	return run, nil
 }

@@ -35,7 +35,7 @@ func main() {
 
 func run(h int, mode, dataset string, maxNodes int64, workers int, args []string) error {
 	if h < 1 {
-		return fmt.Errorf("invalid -h %d: need h ≥ 1", h)
+		return fmt.Errorf("%w: invalid -h %d: need h ≥ 1", errUsage, h)
 	}
 	var g *khcore.Graph
 	switch {
@@ -56,7 +56,7 @@ func run(h int, mode, dataset string, maxNodes int64, workers int, args []string
 			return err
 		}
 	default:
-		return fmt.Errorf("need exactly one edge-list file or -dataset")
+		return fmt.Errorf("%w: need exactly one edge-list file or -dataset", errUsage)
 	}
 	fmt.Printf("graph: %d vertices, %d edges; h=%d\n", g.NumVertices(), g.NumEdges(), h)
 	opts := khcore.HClubOptions{MaxNodes: maxNodes}
@@ -94,7 +94,7 @@ func run(h int, mode, dataset string, maxNodes int64, workers int, args []string
 		}
 		return direct()
 	default:
-		return fmt.Errorf("unknown mode %q (want cores, direct or compare)", mode)
+		return fmt.Errorf("%w: unknown mode %q (want cores, direct or compare)", errUsage, mode)
 	}
 }
 

@@ -1,0 +1,7 @@
+package main
+
+import "errors"
+
+// errUsage is wrapped by every bad-invocation error (typederr invariant:
+// fmt.Errorf must wrap a sentinel from errors.go).
+var errUsage = errors.New("khcore: usage error")

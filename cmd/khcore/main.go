@@ -53,10 +53,10 @@ func main() {
 
 func run(h int, algo string, workers, partition int, dataset string, timeout time.Duration, histogram, vertices, validate bool, ap khcore.ApproxOptions, args []string) error {
 	if h < 1 {
-		return fmt.Errorf("invalid -h %d: need h ≥ 1", h)
+		return fmt.Errorf("%w: invalid -h %d: need h ≥ 1", errUsage, h)
 	}
 	if ap.Enabled && validate {
-		return fmt.Errorf("-validate checks exact core indices; an approximate decomposition would always fail it — drop -approx or -validate")
+		return fmt.Errorf("%w: -validate checks exact core indices; an approximate decomposition would always fail it — drop -approx or -validate", errUsage)
 	}
 	ctx := context.Background()
 	if timeout > 0 {
@@ -84,7 +84,7 @@ func run(h int, algo string, workers, partition int, dataset string, timeout tim
 			return err
 		}
 	default:
-		return fmt.Errorf("need exactly one edge-list file or -dataset (known datasets: %v)", khcore.DatasetNames())
+		return fmt.Errorf("%w: need exactly one edge-list file or -dataset (known datasets: %v)", errUsage, khcore.DatasetNames())
 	}
 
 	var alg khcore.Algorithm
@@ -96,7 +96,7 @@ func run(h int, algo string, workers, partition int, dataset string, timeout tim
 	case "lbub":
 		alg = khcore.HLBUB
 	default:
-		return fmt.Errorf("unknown algorithm %q (want bz, lb or lbub)", algo)
+		return fmt.Errorf("%w: unknown algorithm %q (want bz, lb or lbub)", errUsage, algo)
 	}
 
 	res, err := khcore.DecomposeCtx(ctx, g, core.Options{

@@ -1,0 +1,11 @@
+package main
+
+import "errors"
+
+// Sentinels wrapped by the daemon's own errors (typederr invariant):
+// errUsage for bad invocation, errBadRequest for malformed client
+// parameters, which the HTTP layer maps to 400.
+var (
+	errUsage      = errors.New("khserve: usage error")
+	errBadRequest = errors.New("khserve: bad request")
+)

@@ -81,7 +81,7 @@ func run(addr, dataset string, engines, workers int, timeout, maxTimeout time.Du
 			return err
 		}
 	default:
-		return fmt.Errorf("need exactly one edge-list file or -dataset (known datasets: %v)", khcore.DatasetNames())
+		return fmt.Errorf("%w: need exactly one edge-list file or -dataset (known datasets: %v)", errUsage, khcore.DatasetNames())
 	}
 
 	s, err := newServer(g, ids, engines, workers, timeout, maxTimeout, maxH)
@@ -150,7 +150,7 @@ func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	if t := r.URL.Query().Get("timeout"); t != "" {
 		td, err := time.ParseDuration(t)
 		if err != nil || td <= 0 {
-			return nil, nil, fmt.Errorf("bad timeout %q: want a positive Go duration like 500ms", t)
+			return nil, nil, fmt.Errorf("%w: bad timeout %q: want a positive Go duration like 500ms", errBadRequest, t)
 		}
 		if td > s.maxTimeout {
 			td = s.maxTimeout

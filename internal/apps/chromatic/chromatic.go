@@ -55,10 +55,10 @@ type Coloring struct {
 // nil to have it computed internally.
 func Greedy(g *graph.Graph, h int, decomposition *core.Result) (*Coloring, error) {
 	if h < 1 {
-		return nil, fmt.Errorf("chromatic: invalid h=%d", h)
+		return nil, fmt.Errorf("%w: invalid h=%d", ErrBadInput, h)
 	}
 	if decomposition != nil && decomposition.H != h {
-		return nil, fmt.Errorf("chromatic: decomposition computed for h=%d, want %d", decomposition.H, h)
+		return nil, fmt.Errorf("%w: decomposition computed for h=%d, want %d", ErrBadInput, decomposition.H, h)
 	}
 	n := g.NumVertices()
 	if n == 0 {
@@ -159,17 +159,18 @@ func peelingOrder(g *graph.Graph, h int) []int {
 func Verify(g *graph.Graph, c *Coloring) error {
 	n := g.NumVertices()
 	if len(c.Colors) != n {
-		return fmt.Errorf("chromatic: %d colors for %d vertices", len(c.Colors), n)
+		return fmt.Errorf("%w: %d colors for %d vertices", ErrInvalidColoring, len(c.Colors), n)
 	}
 	t := hbfs.NewTraversal(g)
 	for v := 0; v < n; v++ {
 		if c.Colors[v] < 0 || c.Colors[v] >= c.NumColors {
-			return fmt.Errorf("chromatic: vertex %d has out-of-range color %d", v, c.Colors[v])
+			return fmt.Errorf("%w: vertex %d has out-of-range color %d", ErrInvalidColoring, v, c.Colors[v])
 		}
 		var conflict error
 		t.Visit(v, c.H, nil, func(u int32, d int32) {
 			if conflict == nil && c.Colors[u] == c.Colors[v] {
-				conflict = fmt.Errorf("chromatic: vertices %d and %d share color %d at distance %d ≤ h=%d",
+				conflict = fmt.Errorf("%w: vertices %d and %d share color %d at distance %d ≤ h=%d",
+					ErrInvalidColoring,
 					v, u, c.Colors[v], d, c.H)
 			}
 		})

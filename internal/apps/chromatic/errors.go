@@ -1,0 +1,13 @@
+// Sentinels for the chromatic-number application (typederr invariant:
+// fmt.Errorf outside this file must wrap one of these with %w).
+package chromatic
+
+import "errors"
+
+var (
+	// ErrBadInput marks invalid arguments: h < 1 or a decomposition
+	// computed for a different h.
+	ErrBadInput = errors.New("chromatic: bad input")
+	// ErrInvalidColoring marks a coloring that fails validation.
+	ErrInvalidColoring = errors.New("chromatic: invalid coloring")
+)

@@ -33,15 +33,15 @@ type Community struct {
 // required.
 func Search(g *graph.Graph, h int, query []int, decomposition *core.Result) (*Community, error) {
 	if h < 1 {
-		return nil, fmt.Errorf("community: invalid h=%d", h)
+		return nil, fmt.Errorf("%w: invalid h=%d", ErrBadInput, h)
 	}
 	if len(query) == 0 {
-		return nil, fmt.Errorf("community: empty query set")
+		return nil, fmt.Errorf("%w: empty query set", ErrBadInput)
 	}
 	n := g.NumVertices()
 	for _, q := range query {
 		if q < 0 || q >= n {
-			return nil, fmt.Errorf("community: query vertex %d out of range [0,%d)", q, n)
+			return nil, fmt.Errorf("%w: query vertex %d out of range [0,%d)", ErrBadInput, q, n)
 		}
 	}
 	if decomposition == nil {
@@ -52,7 +52,7 @@ func Search(g *graph.Graph, h int, query []int, decomposition *core.Result) (*Co
 		}
 	}
 	if decomposition.H != h {
-		return nil, fmt.Errorf("community: decomposition computed for h=%d, want %d", decomposition.H, h)
+		return nil, fmt.Errorf("%w: decomposition computed for h=%d, want %d", ErrBadInput, decomposition.H, h)
 	}
 
 	// The community's level cannot exceed the weakest query vertex's core.
@@ -91,7 +91,7 @@ func Search(g *graph.Graph, h int, query []int, decomposition *core.Result) (*Co
 	}
 	// k = 0 always succeeds when the query vertices share a component of
 	// g; if they do not, there is no connected subgraph containing Q.
-	return nil, fmt.Errorf("community: query vertices are not connected in g")
+	return nil, fmt.Errorf("%w in g", ErrNotConnected)
 }
 
 // MinHDegree returns the minimum h-degree inside the subgraph of g induced

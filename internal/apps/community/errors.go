@@ -1,0 +1,14 @@
+// Sentinels for the community-search application (typederr invariant:
+// fmt.Errorf outside this file must wrap one of these with %w).
+package community
+
+import "errors"
+
+var (
+	// ErrBadInput marks invalid arguments: h < 1, an empty or
+	// out-of-range query set, or a decomposition for a different h.
+	ErrBadInput = errors.New("community: bad input")
+	// ErrNotConnected reports that the query vertices share no connected
+	// subgraph, so no community exists at any core level.
+	ErrNotConnected = errors.New("community: query not connected")
+)

@@ -49,7 +49,7 @@ func AverageHDegree(g *graph.Graph, verts []int, h int) float64 {
 // when supplied, must be for the same h; pass nil to compute it.
 func Approximate(g *graph.Graph, h int, decomposition *core.Result) (*Subgraph, error) {
 	if h < 1 {
-		return nil, fmt.Errorf("densest: invalid h=%d", h)
+		return nil, fmt.Errorf("%w: invalid h=%d", ErrBadInput, h)
 	}
 	if decomposition == nil {
 		var err error
@@ -59,7 +59,7 @@ func Approximate(g *graph.Graph, h int, decomposition *core.Result) (*Subgraph, 
 		}
 	}
 	if decomposition.H != h {
-		return nil, fmt.Errorf("densest: decomposition computed for h=%d, want %d", decomposition.H, h)
+		return nil, fmt.Errorf("%w: decomposition computed for h=%d, want %d", ErrBadInput, decomposition.H, h)
 	}
 	best := &Subgraph{H: h, CoreK: -1}
 	maxK := decomposition.MaxCoreIndex()
@@ -87,7 +87,7 @@ func Exact(g *graph.Graph, h int) (*Subgraph, error) {
 		return &Subgraph{H: h, CoreK: -1}, nil
 	}
 	if n > 20 {
-		return nil, fmt.Errorf("densest: Exact limited to 20 vertices, got %d", n)
+		return nil, fmt.Errorf("%w: Exact limited to 20 vertices, got %d", ErrBadInput, n)
 	}
 	best := &Subgraph{H: h, CoreK: -1}
 	for mask := 1; mask < 1<<n; mask++ {

@@ -1,0 +1,9 @@
+// Sentinels for the densest-subgraph application (typederr invariant:
+// fmt.Errorf outside this file must wrap one of these with %w).
+package densest
+
+import "errors"
+
+// ErrBadInput marks invalid arguments: h < 1, a decomposition computed
+// for a different h, or an instance too large for the exact solver.
+var ErrBadInput = errors.New("densest: bad input")

@@ -1,0 +1,9 @@
+// Sentinels for the h-club application (typederr invariant: fmt.Errorf
+// outside this file must wrap one of these with %w).
+package hclub
+
+import "errors"
+
+// ErrBadInput marks invalid arguments to the core-decomposition wrapper:
+// a nil decomposition or one computed for a different h.
+var ErrBadInput = errors.New("hclub: bad input")

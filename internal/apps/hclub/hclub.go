@@ -241,6 +241,7 @@ func (b *bnb) expired() bool {
 	return !b.deadline.IsZero() && time.Now().After(b.deadline)
 }
 
+//khcore:vset-caller-epoch
 func (b *bnb) search(alive *vset.Set, size int) {
 	if b.budgetHit {
 		return
@@ -454,11 +455,11 @@ func WithCores(g *graph.Graph, h int, decomposition *core.Result, solver Solver,
 // is returned (Exact=false) with an error wrapping core.ErrCanceled.
 func WithCoresCtx(ctx context.Context, g *graph.Graph, h int, decomposition *core.Result, solver Solver, opts Options) (Result, error) {
 	if decomposition == nil {
-		return Result{}, fmt.Errorf("hclub: nil decomposition")
+		return Result{}, fmt.Errorf("%w: nil decomposition", ErrBadInput)
 	}
 	opts.ctx = ctx
 	if decomposition.H != h {
-		return Result{}, fmt.Errorf("hclub: decomposition computed for h=%d, want h=%d", decomposition.H, h)
+		return Result{}, fmt.Errorf("%w: decomposition computed for h=%d, want h=%d", ErrBadInput, decomposition.H, h)
 	}
 	n := g.NumVertices()
 	if n == 0 {

@@ -1,0 +1,10 @@
+// Sentinels for the landmark-selection application (typederr invariant:
+// fmt.Errorf outside this file must wrap one of these with %w).
+package landmarks
+
+import "errors"
+
+// ErrBadInput marks invalid arguments: an empty or out-of-range landmark
+// set, a non-positive budget, a missing decomposition, or an unknown
+// selection strategy.
+var ErrBadInput = errors.New("landmarks: bad input")

@@ -28,14 +28,14 @@ type Oracle struct {
 // NewOracle precomputes BFS distances from each landmark.
 func NewOracle(g *graph.Graph, landmarks []int) (*Oracle, error) {
 	if len(landmarks) == 0 {
-		return nil, fmt.Errorf("landmarks: empty landmark set")
+		return nil, fmt.Errorf("%w: empty landmark set", ErrBadInput)
 	}
 	n := g.NumVertices()
 	o := &Oracle{g: g, landmarks: append([]int(nil), landmarks...)}
 	o.dist = make([][]int32, len(landmarks))
 	for i, l := range landmarks {
 		if l < 0 || l >= n {
-			return nil, fmt.Errorf("landmarks: landmark %d out of range [0,%d)", l, n)
+			return nil, fmt.Errorf("%w: landmark %d out of range [0,%d)", ErrBadInput, l, n)
 		}
 		o.dist[i] = g.BFSDistances(l)
 	}
@@ -106,7 +106,7 @@ const (
 func Select(g *graph.Graph, strategy Strategy, ell int, h int, decomposition *core.Result, seed uint64, workers int) ([]int, error) {
 	n := g.NumVertices()
 	if ell <= 0 {
-		return nil, fmt.Errorf("landmarks: ell must be positive")
+		return nil, fmt.Errorf("%w: ell must be positive", ErrBadInput)
 	}
 	if ell > n {
 		ell = n
@@ -114,7 +114,7 @@ func Select(g *graph.Graph, strategy Strategy, ell int, h int, decomposition *co
 	switch strategy {
 	case MaxCore:
 		if decomposition == nil {
-			return nil, fmt.Errorf("landmarks: MaxCore selection needs a decomposition")
+			return nil, fmt.Errorf("%w: MaxCore selection needs a decomposition", ErrBadInput)
 		}
 		return selectFromTopCore(decomposition, ell, seed), nil
 	case Closeness:
@@ -123,11 +123,11 @@ func Select(g *graph.Graph, strategy Strategy, ell int, h int, decomposition *co
 		return centrality.TopK(centrality.Betweenness(g, workers), ell), nil
 	case HDegree:
 		if h < 1 {
-			return nil, fmt.Errorf("landmarks: HDegree selection needs h ≥ 1")
+			return nil, fmt.Errorf("%w: HDegree selection needs h ≥ 1", ErrBadInput)
 		}
 		return centrality.TopKInt(core.HDegrees(g, h, workers), ell), nil
 	default:
-		return nil, fmt.Errorf("landmarks: unknown strategy %q", strategy)
+		return nil, fmt.Errorf("%w: unknown strategy %q", ErrBadInput, strategy)
 	}
 }
 

@@ -52,6 +52,8 @@ func (q *Queue) Contains(v int) bool { return q.key[v] != none }
 func (q *Queue) Key(v int) int { return int(q.key[v]) }
 
 // Insert places v into bucket k. v must not already be queued.
+//
+//khcore:hotpath
 func (q *Queue) Insert(v, k int) {
 	if q.key[v] != none {
 		panic("bucket: Insert of queued vertex")
@@ -61,6 +63,8 @@ func (q *Queue) Insert(v, k int) {
 }
 
 // Remove deletes v from its bucket. v must be queued.
+//
+//khcore:hotpath
 func (q *Queue) Remove(v int) {
 	if q.key[v] == none {
 		panic("bucket: Remove of vertex not queued")
@@ -71,6 +75,8 @@ func (q *Queue) Remove(v int) {
 
 // Move relocates v to bucket k in O(1). v must be queued. Moving to the
 // current bucket is a no-op.
+//
+//khcore:hotpath
 func (q *Queue) Move(v, k int) {
 	if q.key[v] == none {
 		panic("bucket: Move of vertex not queued")
@@ -87,6 +93,8 @@ func (q *Queue) Move(v, k int) {
 // when every bucket ≥ from is empty. Scanning resumes from the caller's
 // cursor, so a full peeling pass costs O(n + maxKey) total when the caller
 // never asks for a key below a previously returned one.
+//
+//khcore:hotpath
 func (q *Queue) PopMin(from int) (v, k int) {
 	for key := from; key < len(q.head); key++ {
 		if h := q.head[key]; h != none {
@@ -100,6 +108,8 @@ func (q *Queue) PopMin(from int) (v, k int) {
 
 // PopFrom removes and returns an arbitrary vertex from bucket k, or -1 when
 // the bucket is empty.
+//
+//khcore:hotpath
 func (q *Queue) PopFrom(k int) int {
 	h := q.head[k]
 	if h == none {
@@ -123,6 +133,7 @@ func (q *Queue) Clear() {
 	q.size = 0
 }
 
+//khcore:hotpath
 func (q *Queue) link(v, k int32) {
 	q.key[v] = k
 	q.prev[v] = none
@@ -133,6 +144,7 @@ func (q *Queue) link(v, k int32) {
 	q.head[k] = v
 }
 
+//khcore:hotpath
 func (q *Queue) unlink(v int32) {
 	k := q.key[v]
 	if q.prev[v] != none {

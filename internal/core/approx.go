@@ -229,6 +229,8 @@ func approxErrorBound(epsilon float64, maxDeg int) int {
 // weights exactly while keys stay integers. Untruncated balls have all
 // weights 1 and take the carry-free fast path — with a budget no frontier
 // exceeds, this loop is powerPeelSerial bit for bit.
+//
+//khcore:peel
 func (e *Engine) approxPeel(budget int, seed uint64) {
 	n := e.g.NumVertices()
 	e.ubdeg = growInt32(e.ubdeg, n)
@@ -237,7 +239,7 @@ func (e *Engine) approxPeel(budget int, seed uint64) {
 		if d < 0 {
 			d = 0
 		}
-		e.ubdeg[v] = d
+		e.ubdeg[v] = d //khcore:atomic-ok serial approximate peel; no fan-out is in flight
 	}
 	e.approxResid = growFloat64(e.approxResid, n)
 	for i := range e.approxResid {
@@ -246,7 +248,7 @@ func (e *Engine) approxPeel(budget int, seed uint64) {
 	q := e.sv[0].q
 	q.Clear()
 	for v := 0; v < n; v++ {
-		q.insert(v, int(e.ubdeg[v]))
+		q.insert(v, int(e.ubdeg[v])) //khcore:atomic-ok serial approximate peel; no fan-out is in flight
 	}
 	t := e.trav()
 	ubdeg := e.ubdeg
@@ -284,11 +286,11 @@ func (e *Engine) approxPeel(budget int, seed uint64) {
 						continue
 					}
 				}
-				nd := int(ubdeg[u]) - dec
+				nd := int(ubdeg[u]) - dec //khcore:atomic-ok serial approximate peel; no fan-out is in flight
 				if nd < 0 {
 					nd = 0
 				}
-				ubdeg[u] = int32(nd)
+				ubdeg[u] = int32(nd) //khcore:atomic-ok serial approximate peel; no fan-out is in flight
 				e.stats.Decrements++
 				nk := nd
 				if nk < k {

@@ -39,6 +39,14 @@ var (
 	// algorithm, or requesting it from an exact-only surface (the
 	// Maintainer and the spectrum API).
 	ErrInvalidApprox = errors.New("khcore: invalid approximate-mode options")
+	// ErrInvalidResult is returned by the validation surfaces — Validate
+	// against the naive oracle, BuildHierarchy's input checks — when a
+	// decomposition is malformed or inconsistent with its graph.
+	ErrInvalidResult = errors.New("khcore: invalid decomposition result")
+	// ErrBadEdit is returned by the Maintainer for an edge edit that
+	// cannot apply: inserting a present edge, deleting an absent one, or
+	// an out-of-range/self-loop endpoint pair.
+	ErrBadEdit = errors.New("khcore: bad edge edit")
 )
 
 // CanceledError wraps a context's cancellation cause so that the result

@@ -6,6 +6,9 @@ package core
 // every vertex in the removed vertex's h-neighborhood. The run peels
 // inside the sequential solver arena (solver 0), with the batch
 // recomputations fanned out over the engine's worker pool.
+//
+//khcore:peel
+//khcore:vset-caller-epoch assigned alive
 func (e *Engine) runHBZ() {
 	n := e.g.NumVertices()
 	if n == 0 {

@@ -42,10 +42,11 @@ type Hierarchy struct {
 // edge of the forest reflects a real refinement.
 func BuildHierarchy(g *graph.Graph, decomposition *Result) (*Hierarchy, error) {
 	if decomposition == nil {
-		return nil, fmt.Errorf("core: BuildHierarchy: nil decomposition")
+		return nil, fmt.Errorf("%w: BuildHierarchy: nil decomposition", ErrInvalidResult)
 	}
 	if len(decomposition.Core) != g.NumVertices() {
-		return nil, fmt.Errorf("core: BuildHierarchy: decomposition has %d vertices, graph %d",
+		return nil, fmt.Errorf("%w: BuildHierarchy: decomposition has %d vertices, graph %d",
+			ErrInvalidResult,
 			len(decomposition.Core), g.NumVertices())
 	}
 	n := g.NumVertices()

@@ -5,6 +5,8 @@ package core
 // the setLB flag raised, so the expensive h-degree computation of a vertex
 // is deferred until the peeling frontier actually reaches its bound. The
 // whole run peels inside the sequential solver arena (solver 0).
+//
+//khcore:vset-caller-epoch setLB
 func (e *Engine) runHLB() {
 	n := e.g.NumVertices()
 	if n == 0 {

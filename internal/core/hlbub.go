@@ -227,6 +227,8 @@ func adaptiveSlack(n, distinct int) int {
 // frontier from their final core index) but are never re-processed, and
 // LB3 raises persist — the key savings over h-LB that only a serial
 // schedule can exploit.
+//
+//khcore:peel
 func (e *Engine) runIntervalsSequential(ub, lb2 []int32) {
 	s := e.sv[0]
 	copy(s.lb3, lb2)
@@ -266,6 +268,8 @@ func (e *Engine) runIntervalsSequential(ub, lb2 []int32) {
 // plus the output core array, whose written positions are disjoint across
 // intervals; everything mutable lives in the per-worker arenas, so the
 // fan-out is race-free and the merged result deterministic.
+//
+//khcore:peel
 func (e *Engine) runIntervalsParallel(ub, lb2 []int32) {
 	// An arena can only do work while an interval remains unclaimed, so
 	// the fleet is capped at the interval count: each arena pre-sizes
@@ -287,7 +291,7 @@ func (e *Engine) runIntervalsParallel(ub, lb2 []int32) {
 	// sequential carry. Publishes only ever move a slot 0 → final value,
 	// so any read is either the exact settled index or a harmless miss.
 	e.bcast = growInt32(e.bcast, e.g.NumVertices())
-	for i := range e.bcast {
+	for i := range e.bcast { //khcore:atomic-ok epoch reset before the interval fan-out starts
 		e.bcast[i] = 0
 	}
 	for _, s := range e.sv[:w] {

@@ -27,6 +27,9 @@ package core
 // after removals — a removed vertex w can only affect v's h-neighborhood
 // if some vertex within distance h of v routes through w, which forces w
 // itself within distance h of v, i.e. v would have been decremented.
+//
+//khcore:peel
+//khcore:vset-caller-epoch capped alive
 func (s *partitionSolver) improveLB(part []int32, kmin, kmax int) {
 	s.dirty.Clear()
 	if len(part) == 0 {
@@ -100,6 +103,7 @@ func (s *partitionSolver) improveLB(part []int32, kmin, kmax int) {
 		}
 		// verts aliases the traversal scratch, so the re-verifications run
 		// only after the ball has been consumed.
+		//khcore:poll-ok bounded by one ball's dips; the enclosing cascade loop polls every pop
 		for _, u := range s.dips {
 			if s.capped.Contains(int(u)) {
 				// The entry was a truncated lower bound; count again, far

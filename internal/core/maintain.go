@@ -139,7 +139,7 @@ func (m *Maintainer) InsertEdgeCtx(ctx context.Context, u, v int) error {
 			// owed. Treat the retry as completing that pending update.
 			return m.redecompose(ctx, true)
 		}
-		return fmt.Errorf("core: edge {%d,%d} already present", u, v)
+		return fmt.Errorf("%w: edge {%d,%d} already present", ErrBadEdit, u, v)
 	}
 	m.edges[key] = struct{}{}
 	if int(key[1]) >= m.n {
@@ -170,7 +170,7 @@ func (m *Maintainer) DeleteEdgeCtx(ctx context.Context, u, v int) error {
 			// canceled attempt; complete the owed re-decomposition.
 			return m.redecompose(ctx, false)
 		}
-		return fmt.Errorf("core: edge {%d,%d} not present", u, v)
+		return fmt.Errorf("%w: edge {%d,%d} not present", ErrBadEdit, u, v)
 	}
 	delete(m.edges, key)
 	m.rebuild()
@@ -180,7 +180,7 @@ func (m *Maintainer) DeleteEdgeCtx(ctx context.Context, u, v int) error {
 
 func (m *Maintainer) normalize(u, v int) ([2]int32, error) {
 	if u == v || u < 0 || v < 0 {
-		return [2]int32{}, fmt.Errorf("core: invalid edge {%d,%d}", u, v)
+		return [2]int32{}, fmt.Errorf("%w: invalid edge {%d,%d}", ErrBadEdit, u, v)
 	}
 	if u > v {
 		u, v = v, u

@@ -147,7 +147,7 @@ func ValidateCtx(ctx context.Context, g *graph.Graph, h int, core []int) error {
 	}
 	n := g.NumVertices()
 	if len(core) != n {
-		return fmt.Errorf("core: Validate: got %d indices for %d vertices", len(core), n)
+		return fmt.Errorf("%w: Validate: got %d indices for %d vertices", ErrInvalidResult, len(core), n)
 	}
 	if n == 0 {
 		return nil
@@ -155,7 +155,7 @@ func ValidateCtx(ctx context.Context, g *graph.Graph, h int, core []int) error {
 	maxK := 0
 	for v, c := range core {
 		if c < 0 {
-			return fmt.Errorf("core: Validate: vertex %d has negative core index %d", v, c)
+			return fmt.Errorf("%w: Validate: vertex %d has negative core index %d", ErrInvalidResult, v, c)
 		}
 		if c > maxK {
 			maxK = c
@@ -183,7 +183,7 @@ func ValidateCtx(ctx context.Context, g *graph.Graph, h int, core []int) error {
 					return CanceledError(ctx)
 				}
 				if d := b.hDegree(g, v, h, alive); d < k {
-					return fmt.Errorf("core: Validate: vertex %d claims core ≥ %d but has h-degree %d in C_%d", v, k, d, k)
+					return fmt.Errorf("%w: Validate: vertex %d claims core ≥ %d but has h-degree %d in C_%d", ErrInvalidResult, v, k, d, k)
 				}
 			}
 		}
@@ -226,7 +226,7 @@ func ValidateCtx(ctx context.Context, g *graph.Graph, h int, core []int) error {
 		}
 		for v := 0; v < n; v++ {
 			if alive.Contains(v) && core[v] == k {
-				return fmt.Errorf("core: Validate: vertex %d claims core %d but survives peeling at %d", v, k, k+1)
+				return fmt.Errorf("%w: Validate: vertex %d claims core %d but survives peeling at %d", ErrInvalidResult, v, k, k+1)
 			}
 		}
 	}

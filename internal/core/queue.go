@@ -18,6 +18,8 @@ func newBucketQueue(n int) *bucketQueue {
 }
 
 // clampKey bounds k to the queue's valid key range.
+//
+//khcore:hotpath
 func (q *bucketQueue) clampKey(k int) int {
 	if k < 0 {
 		return 0
@@ -29,7 +31,11 @@ func (q *bucketQueue) clampKey(k int) int {
 }
 
 // insert places v in bucket k (clamped).
+//
+//khcore:hotpath
 func (q *bucketQueue) insert(v, k int) { q.Insert(v, q.clampKey(k)) }
 
 // move relocates v to bucket k (clamped).
+//
+//khcore:hotpath
 func (q *bucketQueue) move(v, k int) { q.Move(v, q.clampKey(k)) }

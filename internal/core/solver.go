@@ -140,6 +140,8 @@ func (s *partitionSolver) bind(g *graph.Graph, core []int32, h, slack int, pool 
 // verts — through the pool's parallel batch kernel for the sequential
 // solver, or the solver's own traversal inside a parallel job — and
 // returns the number of live sources evaluated.
+//
+//khcore:hotpath
 func (s *partitionSolver) hdegCappedBatch(verts []int32, cap int) int64 {
 	if s.pool != nil {
 		return s.pool.HDegreesCapped(verts, s.h, s.alive, cap, s.deg)
@@ -186,6 +188,9 @@ func (s *partitionSolver) buildPartition(kmin int, ub []int32) bool {
 // fall back to their best lower bound with the lazy flag raised — and
 // truncated counts keep the capped flag up, so the peeling re-counts them
 // on demand.
+//
+//khcore:hotpath
+//khcore:vset-caller-epoch setLB
 func (s *partitionSolver) seedQueue(kmin, kmax int, carryAssigned bool) {
 	s.q.Clear()
 	for _, v := range s.part {
@@ -279,6 +284,10 @@ func (s *partitionSolver) solveInterval(kmin, kmax int, ub, lb2 []int32) {
 // re-bucketing inserts at max(deg, k), not deg, because the recomputed
 // h-degree can fall below the current level when same-core neighbors were
 // peeled first; inserting below the frontier would orphan the vertex.
+//
+//khcore:hotpath
+//khcore:peel
+//khcore:vset-caller-epoch setLB capped assigned alive
 func (s *partitionSolver) coreDecomp(kmin, kmax int) {
 	start := kmin - 1
 	if start < 0 {
@@ -362,6 +371,9 @@ func (s *partitionSolver) coreDecomp(kmin, kmax int) {
 // of coreDecomp is untouched.
 // Neighbors with setLB raised (lower bound only, or already settled) are
 // skipped entirely — that is the saving h-LB and h-LB+UB are built on.
+//
+//khcore:hotpath
+//khcore:vset-caller-epoch alive capped
 func (s *partitionSolver) removeAndUpdate(v, k int) {
 	verts, shellStart := s.t.Ball(v, s.h, s.alive)
 	s.alive.Remove(v)

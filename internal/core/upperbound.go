@@ -59,7 +59,7 @@ func (e *Engine) powerPeelInit(degH []int32) *bucketQueue {
 	q := e.sv[0].q
 	q.Clear()
 	for v := 0; v < n; v++ {
-		q.insert(v, int(e.ubdeg[v]))
+		q.insert(v, int(e.ubdeg[v])) //khcore:atomic-ok serial queue seeding before any ball fan-out
 	}
 	return q
 }
@@ -71,6 +71,9 @@ func (e *Engine) powerPeelInit(degH []int32) *bucketQueue {
 // order is non-nil, every settled vertex is appended to it — the
 // degeneracy ordering of G^h — and the grown slice is returned. The
 // cancellation broadcast is polled on the usual amortized schedule.
+//
+//khcore:hotpath
+//khcore:peel
 func (e *Engine) powerPeelSerial(ub, ubdeg []int32, q *bucketQueue, order []int) []int {
 	t := e.trav()
 	k := 0
@@ -134,11 +137,13 @@ func (e *Engine) powerPeelSerial(ub, ubdeg []int32, q *bucketQueue, order []int)
 // serial peel. Frontiers smaller than the pool's batchMin run inline on
 // worker 0 inside Pool.Balls, so the frequent tiny rounds of a skewed
 // bound distribution never pay helper wake-ups.
+//
+//khcore:peel
 func (e *Engine) powerPeelParallel(ub, ubdeg []int32, q *bucketQueue) {
 	n := len(ub)
 	e.ubFrontier = growInt32(e.ubFrontier, n)[:0]
 	e.ubStamp = growInt32(e.ubStamp, n)
-	for i := range e.ubStamp {
+	for i := range e.ubStamp { //khcore:atomic-ok epoch reset before the round fan-out starts
 		e.ubStamp[i] = 0
 	}
 	e.ubRound = 0

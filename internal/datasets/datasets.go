@@ -117,7 +117,7 @@ func Get(name string) (Dataset, error) {
 			return d, nil
 		}
 	}
-	return Dataset{}, fmt.Errorf("datasets: unknown dataset %q (known: %v)", name, Names())
+	return Dataset{}, fmt.Errorf("%w %q (known: %v)", ErrUnknownDataset, name, Names())
 }
 
 // Load builds the named dataset's graph. A name containing a path

@@ -1,0 +1,8 @@
+package datasets
+
+import "errors"
+
+// ErrUnknownDataset is returned by Open for names not in the registry.
+// The message deliberately contains "unknown dataset", which callers and
+// tests match on. (typederr invariant: fmt.Errorf wraps this with %w.)
+var ErrUnknownDataset = errors.New("datasets: unknown dataset")

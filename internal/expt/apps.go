@@ -154,7 +154,7 @@ func Table7(cfg Config) ([]Table7Row, error) {
 			}
 			ev := landmarks.Evaluate(g, o, cfg.Pairs, cfg.Seed+uint64(rep)*101)
 			if ev.BoundViolations > 0 {
-				return 0, fmt.Errorf("expt: oracle bound violations on %s", name)
+				return 0, fmt.Errorf("%w on %s", ErrOracleBound, name)
 			}
 			return ev.MeanRelError, nil
 		}

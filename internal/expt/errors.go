@@ -1,0 +1,13 @@
+package expt
+
+import "errors"
+
+// Sentinels for the experiment runner (typederr invariant: fmt.Errorf
+// outside this file must wrap one of these with %w).
+var (
+	// ErrUnknownExperiment is returned for ids not in the registry.
+	ErrUnknownExperiment = errors.New("expt: unknown experiment")
+	// ErrOracleBound reports that a bound-oracle cross-check failed — an
+	// application produced values outside its proven bounds.
+	ErrOracleBound = errors.New("expt: oracle bound violation")
+)

@@ -53,7 +53,7 @@ func Run(id string, cfg Config, w io.Writer) error {
 func RunCtx(ctx context.Context, id string, cfg Config, w io.Writer) error {
 	fn, ok := runners[id]
 	if !ok {
-		return fmt.Errorf("expt: unknown experiment %q (known: %v)", id, IDs())
+		return fmt.Errorf("%w %q (known: %v)", ErrUnknownExperiment, id, IDs())
 	}
 	cfg.ctx = ctx
 	t, err := fn(cfg)

@@ -1,0 +1,8 @@
+package graph
+
+import "errors"
+
+// ErrBadEdgeList marks malformed edge-list input — wrong field count or
+// negative ids. I/O and strconv failures wrap their underlying error
+// instead (typederr invariant: fmt.Errorf must wrap some sentinel).
+var ErrBadEdgeList = errors.New("graph: bad edge list")

@@ -36,7 +36,7 @@ func ReadEdgeList(r io.Reader) (g *Graph, ids []int64, err error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, nil, fmt.Errorf("graph: line %d: expected two vertex ids, got %q", lineNo, line)
+			return nil, nil, fmt.Errorf("%w: line %d: expected two vertex ids, got %q", ErrBadEdgeList, lineNo, line)
 		}
 		u, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
@@ -47,7 +47,7 @@ func ReadEdgeList(r io.Reader) (g *Graph, ids []int64, err error) {
 			return nil, nil, fmt.Errorf("graph: line %d: bad vertex id %q: %w", lineNo, fields[1], err)
 		}
 		if u < 0 || v < 0 {
-			return nil, nil, fmt.Errorf("graph: line %d: negative vertex id in %q", lineNo, line)
+			return nil, nil, fmt.Errorf("%w: line %d: negative vertex id in %q", ErrBadEdgeList, lineNo, line)
 		}
 		du, dv := lookup(u), lookup(v)
 		b.AddEdge(du, dv)

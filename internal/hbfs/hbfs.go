@@ -96,17 +96,23 @@ func (t *Traversal) Reset(g *graph.Graph) {
 }
 
 // seenTest reports whether u is marked.
+//
+//khcore:hotpath
 func (t *Traversal) seenTest(u int32) bool {
 	return t.seen[u>>6]>>(uint(u)&63)&1 != 0
 }
 
 // seenMark marks u.
+//
+//khcore:hotpath
 func (t *Traversal) seenMark(u int32) {
 	t.seen[u>>6] |= 1 << (uint(u) & 63)
 }
 
 // clearSeen restores the all-zero invariant by unmarking the enqueued
 // vertices (only enqueued vertices are ever marked).
+//
+//khcore:hotpath
 func (t *Traversal) clearSeen(q []int32) {
 	for _, v := range q {
 		t.seen[v>>6] = 0
@@ -127,6 +133,8 @@ func (t *Traversal) AddVisits(n int64) { t.visits += n }
 
 // valid reports whether src is a live in-range source for a search of
 // radius h.
+//
+//khcore:hotpath
 func (t *Traversal) valid(src, h int, alive *vset.Set) bool {
 	if src < 0 || src >= t.g.NumVertices() || h < 1 {
 		return false
@@ -141,6 +149,8 @@ func (t *Traversal) valid(src, h int, alive *vset.Set) bool {
 // distance-exactly-h block starts (len(queue) when the ball's radius is
 // below h). The caller must finish with the returned slice before starting
 // another search on this traversal.
+//
+//khcore:hotpath
 func (t *Traversal) ball(src, h int, alive *vset.Set) (q []int32, shellStart int) {
 	q = append(t.queue[:0], int32(src))
 	t.seenMark(int32(src))
@@ -181,6 +191,8 @@ done:
 // through alive vertices. A nil alive mask means all vertices are alive.
 // If src itself is dead the result is 0. This is the count-only kernel: no
 // distances are written and no callback runs.
+//
+//khcore:hotpath
 func (t *Traversal) HDegree(src, h int, alive *vset.Set) int {
 	if !t.valid(src, h, alive) {
 		return 0
@@ -194,6 +206,8 @@ func (t *Traversal) HDegree(src, h int, alive *vset.Set) int {
 
 // hDegree1 is the h = 1 fast path: the h-degree is the (alive-masked)
 // adjacency degree, read without touching the BFS queue.
+//
+//khcore:hotpath
 func (t *Traversal) hDegree1(src int, alive *vset.Set) int {
 	adj := t.g.Neighbors(src)
 	if alive == nil {
@@ -216,6 +230,8 @@ func (t *Traversal) hDegree1(src int, alive *vset.Set) int {
 // the whole h-ball. A result < cap is the exact h-degree; a result equal
 // to cap means only that the h-degree is ≥ cap. The visit counter reflects
 // the truncated traversal exactly. cap ≤ 0 returns 0 immediately.
+//
+//khcore:hotpath
 func (t *Traversal) HDegreeCapped(src, h int, alive *vset.Set, cap int) int {
 	if cap <= 0 || !t.valid(src, h, alive) {
 		return 0
@@ -262,6 +278,8 @@ func (t *Traversal) HDegreeCapped(src, h int, alive *vset.Set, cap int) int {
 
 // hDegree1Capped scans the adjacency list until cap alive neighbors have
 // been found, mirroring the truncated-BFS accounting of HDegreeCapped.
+//
+//khcore:hotpath
 func (t *Traversal) hDegree1Capped(src int, alive *vset.Set, cap int) int {
 	deg := 0
 	for _, u := range t.g.Neighbors(src) {
@@ -279,6 +297,8 @@ func (t *Traversal) hDegree1Capped(src int, alive *vset.Set, cap int) int {
 // HDegreeAtLeast reports whether deg^h_{G[alive]}(src) ≥ k, aborting the
 // BFS as soon as the answer is decided: k discoveries prove it, queue
 // exhaustion refutes it. k ≤ 0 is trivially true.
+//
+//khcore:hotpath
 func (t *Traversal) HDegreeAtLeast(src, h int, alive *vset.Set, k int) bool {
 	if k <= 0 {
 		return true
@@ -294,6 +314,8 @@ func (t *Traversal) HDegreeAtLeast(src, h int, alive *vset.Set, k int) bool {
 // worth exposing. The returned slice aliases the traversal's scratch (or,
 // on the h = 1 fast path with a nil mask, the graph's adjacency storage):
 // it is read-only and valid only until the next search on this traversal.
+//
+//khcore:hotpath
 func (t *Traversal) Ball(src, h int, alive *vset.Set) (verts []int32, shellStart int) {
 	if !t.valid(src, h, alive) {
 		return nil, 0
@@ -323,6 +345,8 @@ func (t *Traversal) Ball(src, h int, alive *vset.Set) (verts []int32, shellStart
 // Vertices are reported in BFS (distance, discovery) order, after the
 // traversal has completed. fn must not re-enter this Traversal; use a
 // second Traversal for nested searches.
+//
+//khcore:hotpath
 func (t *Traversal) Visit(src, h int, alive *vset.Set, fn func(u int32, d int32)) {
 	if !t.valid(src, h, alive) {
 		return

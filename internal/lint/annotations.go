@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //khcore: annotation grammar. Two families:
+//
+// Function markers, written anywhere in a function's doc comment (or, for
+// hot-path closures, on the line immediately above the func literal):
+//
+//	//khcore:hotpath
+//	    The function is a steady-state hot path: hotpathalloc forbids
+//	    allocating constructs in its body.
+//	//khcore:peel
+//	    The function is a peeling/batch loop: ctxpoll requires every
+//	    traversal-working loop in it to reach a cancellation poll.
+//	//khcore:vset-caller-epoch [field ...]
+//	    The function operates on vertex sets whose epoch the caller
+//	    owns (cleared/filled before the call): vsetepoch exempts the
+//	    named set fields, or every set when no fields are named.
+//
+// Site suppressions, written on the offending line or the line directly
+// above it, each REQUIRING a reason (khdirective reports bare ones):
+//
+//	//khcore:alloc-ok <reason>   suppress one hotpathalloc diagnostic
+//	//khcore:poll-ok <reason>    suppress one ctxpoll diagnostic
+//	//khcore:atomic-ok <reason>  suppress one atomicfield diagnostic
+//	//khcore:err-ok <reason>     suppress one typederr diagnostic
+//	//khcore:vset-ok <reason>    suppress one vsetepoch diagnostic
+
+// markerHotPath, markerPeel and markerCallerEpoch are the function-level
+// markers; suppressKinds the site-suppression families.
+const (
+	markerHotPath     = "hotpath"
+	markerPeel        = "peel"
+	markerCallerEpoch = "vset-caller-epoch"
+)
+
+var suppressKinds = map[string]bool{
+	"alloc":  true,
+	"poll":   true,
+	"atomic": true,
+	"err":    true,
+	"vset":   true,
+}
+
+// annotation is one parsed //khcore: directive.
+type annotation struct {
+	kind   string // directive name after "khcore:", e.g. "alloc-ok"
+	reason string // text after the directive, trimmed
+	file   string
+	line   int
+	pos    token.Pos
+}
+
+// Annotations indexes every //khcore: directive of one package.
+type Annotations struct {
+	fset *token.FileSet
+	// byLine maps file:line to the directives ending on that line.
+	byLine map[string][]annotation
+	all    []annotation
+}
+
+func parseAnnotations(pkg *Package) *Annotations {
+	ann := &Annotations{fset: pkg.Fset, byLine: map[string][]annotation{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//khcore:")
+				if !ok {
+					continue
+				}
+				kind, reason, _ := strings.Cut(text, " ")
+				position := pkg.Fset.Position(c.Pos())
+				a := annotation{
+					kind:   strings.TrimSpace(kind),
+					reason: strings.TrimSpace(reason),
+					file:   position.Filename,
+					line:   position.Line,
+					pos:    c.Pos(),
+				}
+				key := lineKey(a.file, a.line)
+				ann.byLine[key] = append(ann.byLine[key], a)
+				ann.all = append(ann.all, a)
+			}
+		}
+	}
+	return ann
+}
+
+func lineKey(file string, line int) string {
+	// Lines are small; the fixed-width key keeps map churn off the hot
+	// analyzer loop without a fmt.Sprintf per lookup.
+	var b strings.Builder
+	b.WriteString(file)
+	b.WriteByte(':')
+	for _, d := range itoa(line) {
+		b.WriteByte(d)
+	}
+	return b.String()
+}
+
+func itoa(n int) []byte {
+	if n == 0 {
+		return []byte{'0'}
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return buf[i:]
+}
+
+// suppressed reports whether a diagnostic of the given family at pos is
+// covered by a matching <kind>-ok annotation on the same line or the
+// line directly above. Reason-less annotations still suppress — the
+// khdirective analyzer reports them separately, so the build stays red
+// until the reason is written, without double-reporting the site.
+func (a *Annotations) suppressed(kind string, pos token.Position) bool {
+	want := kind + "-ok"
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, ann := range a.byLine[lineKey(pos.Filename, line)] {
+			if ann.kind == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcMarker reports whether fn's doc comment carries the marker, and
+// returns the text after it (the marker's arguments).
+func (a *Annotations) funcMarker(fn *ast.FuncDecl, marker string) (args string, ok bool) {
+	if fn.Doc == nil {
+		return "", false
+	}
+	for _, c := range fn.Doc.List {
+		text, found := strings.CutPrefix(c.Text, "//khcore:")
+		if !found {
+			continue
+		}
+		kind, rest, _ := strings.Cut(text, " ")
+		if strings.TrimSpace(kind) == marker {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// lineMarker reports whether the marker appears on pos's line or the
+// line directly above — the attachment rule for closures, which have no
+// doc comment.
+func (a *Annotations) lineMarker(marker string, pos token.Position) bool {
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, ann := range a.byLine[lineKey(pos.Filename, line)] {
+			if ann.kind == marker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// KHDirective validates the annotation grammar itself: unknown
+// //khcore: directives (usually typos, which would otherwise silently
+// fail to suppress or mark) and suppressions without a reason.
+var KHDirective = &Analyzer{
+	Name: "khdirective",
+	Doc: "check //khcore: annotation well-formedness: every directive must " +
+		"be a known marker or suppression, and every suppression must carry " +
+		"a reason",
+	Run: runKHDirective,
+}
+
+func runKHDirective(pass *Pass) error {
+	for _, ann := range pass.Ann.all {
+		base, isOK := strings.CutSuffix(ann.kind, "-ok")
+		switch {
+		case isOK && suppressKinds[base]:
+			if ann.reason == "" {
+				pass.Reportf("", ann.pos, "//khcore:%s needs a reason", ann.kind)
+			}
+		case ann.kind == markerHotPath || ann.kind == markerPeel || ann.kind == markerCallerEpoch:
+			// Markers are free-form; arguments are validated by their analyzer.
+		default:
+			pass.Reportf("", ann.pos, "unknown //khcore: directive %q", ann.kind)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+package lint
+
+import "errors"
+
+// ErrLint is the sentinel wrapped by every loader and driver failure, so
+// callers (cmd/khlint, the analysistest harness) can distinguish "the
+// analysis infrastructure broke" from "the analyzed code has findings"
+// with errors.Is.
+var ErrLint = errors.New("lint")

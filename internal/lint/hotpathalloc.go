@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPathAlloc enforces the 0 allocs/op contract on functions marked
+// //khcore:hotpath: no make/new, no composite literals, no append into
+// storage the function itself created, no closures, no boxing into
+// interfaces. The engine's steady-state kernels amortize all growth
+// through caller-owned buffers (growInt32, cap-checked reslices), so an
+// allocating construct inside a marked function is either a regression
+// or a deliberate cold-path exception that must say why via
+// //khcore:alloc-ok <reason>.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbid allocating constructs (make, new, composite literals, " +
+		"append into non-receiver slices, closures, interface conversions) " +
+		"inside functions marked //khcore:hotpath",
+	Run: runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, marked := pass.Ann.funcMarker(fn, markerHotPath); marked {
+				checkHotBody(pass, fn.Body, funcScopeObjects(pass.Pkg.TypesInfo, fn))
+			} else {
+				// Unmarked function: still scan for marked closures
+				// (//khcore:hotpath on the line above a func literal).
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					lit, ok := n.(*ast.FuncLit)
+					if !ok {
+						return true
+					}
+					pos := pass.Pkg.Fset.Position(lit.Pos())
+					if pass.Ann.lineMarker(markerHotPath, pos) {
+						checkHotBody(pass, lit.Body, litScopeObjects(pass.Pkg.TypesInfo, lit))
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+func litScopeObjects(info *types.Info, lit *ast.FuncLit) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	if lit.Type == nil {
+		return objs
+	}
+	for _, fl := range []*ast.FieldList{lit.Type.Params, lit.Type.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	return objs
+}
+
+// checkHotBody walks one hot function body. external holds the receiver,
+// parameter and named-result objects — storage the caller owns, which
+// append may legitimately grow (the caller amortizes capacity).
+func checkHotBody(pass *Pass, body *ast.BlockStmt, external map[types.Object]bool) {
+	info := pass.Pkg.TypesInfo
+	addAliasRoots(info, body, external)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf("alloc", x.Pos(), "closure literal in hot path (allocates; hoist to a bound method or field)")
+			return false // body already condemned wholesale
+		case *ast.CompositeLit:
+			pass.Reportf("alloc", x.Pos(), "composite literal in hot path (allocates)")
+		case *ast.CallExpr:
+			checkHotCall(pass, info, x, external)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, info *types.Info, call *ast.CallExpr, external map[types.Object]bool) {
+	switch {
+	case isBuiltin(info, call, "make"):
+		pass.Reportf("alloc", call.Pos(), "make in hot path (allocates; reuse a preallocated buffer)")
+	case isBuiltin(info, call, "new"):
+		pass.Reportf("alloc", call.Pos(), "new in hot path (allocates)")
+	case isBuiltin(info, call, "append"):
+		// append into caller-owned storage is the amortized-growth idiom
+		// (capacity was provisioned by beginRun/growInt32); append into a
+		// locally created slice means the function allocates per call.
+		if len(call.Args) == 0 {
+			return
+		}
+		root := rootIdent(info, call.Args[0])
+		if root == nil {
+			pass.Reportf("alloc", call.Pos(), "append into unrooted slice expression in hot path")
+			return
+		}
+		obj := info.Uses[root]
+		if obj == nil {
+			obj = info.Defs[root]
+		}
+		if obj == nil || external[obj] || isExternallyRooted(info, root, external) {
+			return
+		}
+		pass.Reportf("alloc", call.Pos(),
+			"append into function-local slice %s in hot path (allocates; append into receiver- or parameter-owned storage)", root.Name)
+	default:
+		checkBoxing(pass, info, call)
+	}
+}
+
+// addAliasRoots extends external with locals that alias external
+// storage — the module's `q := t.queue[:0]` reslice-and-append idiom.
+// Iterated to a fixpoint so an alias of an alias is traced too.
+func addAliasRoots(info *types.Info, body *ast.BlockStmt, external map[types.Object]bool) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				root := rootIdent(info, rhs)
+				if root == nil || !isExternallyRooted(info, root, external) {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && !external[obj] {
+					external[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isExternallyRooted reports whether root reaches external storage — the
+// receiver, a parameter, a traced alias (`q := t.queue[:0]`), or a
+// package-level variable.
+func isExternallyRooted(info *types.Info, root *ast.Ident, external map[types.Object]bool) bool {
+	obj := info.Uses[root]
+	if obj == nil {
+		obj = info.Defs[root]
+	}
+	if obj == nil {
+		return false
+	}
+	if external[obj] {
+		return true
+	}
+	// Package-level variables are externally rooted too: their backing
+	// arrays persist across calls.
+	if v, ok := obj.(*types.Var); ok && v.Parent() == v.Pkg().Scope() {
+		return true
+	}
+	return false
+}
+
+// checkBoxing flags argument conversions to interface types — the boxing
+// a fmt.Errorf("%d", v) or sort.Sort(x) performs. Constants, nil and
+// untyped values convert at compile time; functions instantiated on type
+// parameters are judged at their instantiation's call sites, not here.
+func checkBoxing(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	sig := calleeSignature(info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			sl, ok := last.(*types.Slice)
+			if !ok {
+				return // t...(spread of a named slice) — nothing boxes here
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		if _, isTypeParam := pt.(*types.TypeParam); isTypeParam {
+			continue
+		}
+		tv, ok := info.Types[arg]
+		if !ok {
+			continue
+		}
+		if tv.Value != nil || tv.IsNil() {
+			continue // constants and nil don't box at run time
+		}
+		at := tv.Type
+		if at == nil || types.IsInterface(at) {
+			continue // interface-to-interface assignment doesn't re-box
+		}
+		if _, isTypeParam := at.Underlying().(*types.TypeParam); isTypeParam {
+			continue
+		}
+		if isPointerLike(at) {
+			// Pointers, maps, chans, funcs box without heap-allocating the
+			// value; the iface word itself is alloc-free in practice.
+			continue
+		}
+		pass.Reportf("alloc", arg.Pos(),
+			"argument boxes %s into interface %s in hot path (allocates)", at, pt)
+	}
+}
+
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	if _, isConv := isConversion(info, call); isConv {
+		return nil
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}

@@ -1,0 +1,121 @@
+// Package lint is khlint: a suite of project-specific static analyzers
+// that machine-enforce the engine's performance and serving invariants —
+// allocation-free hot paths, cancellation polls in every peeling loop,
+// atomic-only access to fan-out-shared fields, wrapped error sentinels
+// and vset epoch discipline. The invariants existed before this package
+// as review conventions; each analyzer turns one of them into a build
+// failure with an annotated escape hatch (see annotations.go for the
+// //khcore: grammar).
+//
+// The package is deliberately self-contained on the standard library
+// (go/ast, go/types, go/importer): the module takes no dependency on
+// golang.org/x/tools, so the analyzer API mirrors go/analysis in shape —
+// Analyzer, Pass, Reportf — without importing it. Loading reuses the
+// build cache's export data (`go list -export`), so analysis works
+// offline and never re-type-checks the dependency closure from source.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Analyzer is one invariant checker. Run inspects a single package
+// through its Pass; module-wide analyzers (atomicfield) additionally
+// walk Pass.Module.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is the one-paragraph description printed by khlint -list.
+	Doc string
+	// Run reports the package's violations through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax, types and annotations to an
+// analyzer, plus the whole loaded module for cross-package facts.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	Ann      *Annotations
+	// Module lists every package of the current load (including Pkg),
+	// letting analyzers aggregate module-wide facts — atomicfield must
+	// see every sync/atomic call site before judging a plain access.
+	Module []*Package
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos unless a matching //khcore:<kind>-ok
+// annotation suppresses it. kind is the annotation family ("alloc",
+// "poll", "atomic", "err", "vset"); an empty kind is never suppressible.
+func (p *Pass) Reportf(kind string, pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if kind != "" && p.Ann.suppressed(kind, position) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full khlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		HotPathAlloc,
+		CtxPoll,
+		AtomicField,
+		TypedErr,
+		VsetEpoch,
+		KHDirective,
+	}
+}
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics sorted by position. Analyzer errors (not diagnostics —
+// internal failures) abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ann := parseAnnotations(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				Ann:      ann,
+				Module:   pkgs,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%w: %s on %s: %v", ErrLint, a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

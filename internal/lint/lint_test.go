@@ -1,0 +1,91 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func moduleDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, moduleDir(t), fixture("hotpathalloc"), lint.HotPathAlloc)
+}
+
+func TestCtxPoll(t *testing.T) {
+	linttest.Run(t, moduleDir(t), fixture("ctxpoll"), lint.CtxPoll)
+}
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, moduleDir(t), fixture("atomicfield"), lint.AtomicField)
+}
+
+func TestTypedErr(t *testing.T) {
+	linttest.Run(t, moduleDir(t), fixture("typederr"), lint.TypedErr)
+}
+
+func TestVsetEpoch(t *testing.T) {
+	linttest.Run(t, moduleDir(t), fixture("vsetepoch"), lint.VsetEpoch)
+}
+
+// TestKHDirective asserts explicitly instead of using want comments:
+// its diagnostics point AT //khcore: comments, and a // want marker
+// cannot share a line with the line comment it would describe.
+func TestKHDirective(t *testing.T) {
+	pkg, err := lint.LoadDir(moduleDir(t), fixture("khdirective"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.KHDirective})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstrings := []string{
+		"//khcore:alloc-ok needs a reason",
+		`unknown //khcore: directive "allocok"`,
+	}
+	if len(diags) != len(wantSubstrings) {
+		t.Fatalf("got %d diagnostics %v, want %d", len(diags), diags, len(wantSubstrings))
+	}
+	for i, want := range wantSubstrings {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, diags[i].Message, want)
+		}
+	}
+}
+
+// TestModuleClean is the smoke test of the acceptance criterion: the
+// full multichecker suite over the real module must report nothing.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and analyzes the whole module")
+	}
+	pkgs, err := lint.Load(moduleDir(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; expected the full module", len(pkgs))
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

@@ -1,0 +1,108 @@
+// Package linttest is the fixture harness for the khlint analyzers — the
+// stdlib-only analogue of golang.org/x/tools' analysistest. A fixture is
+// a directory of Go files under testdata/src/<analyzer>/ whose lines
+// carry `// want "regexp"` comments; the harness loads the directory
+// with lint.LoadDir, runs one analyzer, and requires an exact bijection
+// between diagnostics and want annotations: every want must be hit by a
+// matching diagnostic on its line, and every diagnostic must be wanted.
+package linttest
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe matches `// want "..."` with optional extra `"..."` patterns
+// for lines expecting several diagnostics.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+var patRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	hit     bool
+}
+
+// Run loads the fixture directory, applies exactly one analyzer, and
+// reports any divergence between its diagnostics and the fixture's want
+// annotations. moduleDir is the module root (where go.mod lives) so the
+// fixture can import this module's packages.
+func Run(t *testing.T, moduleDir, fixtureDir string, analyzer *lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(moduleDir, fixtureDir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("running %s: %v", analyzer.Name, err)
+	}
+
+	wants := collectWants(t, fixtureDir)
+	for _, d := range diags {
+		if !claimWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q, got no matching diagnostic", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func claimWant(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.hit || w.line != d.Pos.Line || filepath.Base(w.file) != filepath.Base(d.Pos.Filename) {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants re-parses the fixture's files purely for their comments —
+// the analyzer run has its own FileSet, and wants are matched by
+// (file, line) so the duplication is harmless.
+func collectWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture comments: %v", err)
+	}
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, pm := range patRe.FindAllStringSubmatch(m[1], -1) {
+						pat := strings.ReplaceAll(pm[1], `\"`, `"`)
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

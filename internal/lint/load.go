@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis: the parsed
+// syntax (comments included — the annotation grammar lives there), the
+// types.Package and the fully populated types.Info. All packages of one
+// Load share a FileSet, so positions are comparable across the module.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg mirrors the `go list -json` fields the loader consumes.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with `go list -export -deps`, parses every matched
+// module package from source and type-checks it against the export data
+// of its dependencies — the same compiled artifacts the build uses, so
+// loading works offline and never re-checks the transitive closure from
+// source. Test files are excluded by construction (GoFiles only): the
+// invariants police production code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("%w: no patterns", ErrLint)
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=Dir,ImportPath,Name,Export,Standard,DepOnly,GoFiles,CgoFiles,ImportMap,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("%w: go list %s: %v\n%s", ErrLint, strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var targets []*listedPkg
+	exports := map[string]string{}
+	importMap := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("%w: decoding go list output: %v", ErrLint, err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%w: %s: %s", ErrLint, p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		for from, to := range p.ImportMap {
+			importMap[from] = to
+		}
+		if !p.DepOnly && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports, importMap)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%w: %s: cgo packages are not supported", ErrLint, t.ImportPath)
+		}
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		pkg, err := checkFiles(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the non-test Go files of one directory
+// as a standalone package — the fixture loader behind the analysistest
+// harness, which must reach packages under testdata/ that `go list`
+// pattern matching deliberately ignores. Imports are resolved through
+// export data listed from moduleDir, so fixtures may import both the
+// standard library and this module's packages.
+func LoadDir(moduleDir, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrLint, err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%w: no Go files in %s", ErrLint, dir)
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	imports := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrLint, err)
+		}
+		parsed = append(parsed, af)
+		for _, spec := range af.Imports {
+			imports[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+	}
+
+	exports := map[string]string{}
+	importMap := map[string]string{}
+	if len(imports) > 0 {
+		args := append([]string{
+			"list", "-e", "-export", "-deps",
+			"-json=ImportPath,Export,Standard,ImportMap,Error",
+		}, sortedKeys(imports)...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = moduleDir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("%w: go list (fixture deps): %v\n%s", ErrLint, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listedPkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("%w: decoding go list output: %v", ErrLint, err)
+			}
+			if p.Error != nil {
+				return nil, fmt.Errorf("%w: %s: %s", ErrLint, p.ImportPath, p.Error.Err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+			for from, to := range p.ImportMap {
+				importMap[from] = to
+			}
+		}
+	}
+
+	imp := newExportImporter(fset, exports, importMap)
+	return check(fset, imp, "fixture/"+filepath.Base(dir), dir, files, parsed)
+}
+
+// LoadVetPackage type-checks one package from a `go vet` unitchecker
+// config: goFiles from dir, dependency types from the packageFile map
+// (import path → export data file) vet already compiled. importMap
+// routes vendored import paths to their on-disk spelling.
+func LoadVetPackage(dir, importPath string, goFiles []string, packageFile, importMap map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []string
+	for _, f := range goFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(dir, f)
+		}
+		files = append(files, f)
+	}
+	imp := newExportImporter(fset, packageFile, importMap)
+	return checkFiles(fset, imp, importPath, dir, files)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func checkFiles(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string) (*Package, error) {
+	var parsed []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrLint, err)
+		}
+		parsed = append(parsed, af)
+	}
+	return check(fset, imp, pkgPath, dir, files, parsed)
+}
+
+func check(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []string, parsed []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("%w: type-checking %s: %v", ErrLint, pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Name:      tpkg.Name(),
+		Dir:       dir,
+		Fset:      fset,
+		Files:     parsed,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// newExportImporter wraps the gc export-data importer with a lookup over
+// the Export files `go list -export` reported, honoring the ImportMap
+// (which routes e.g. std-vendored paths to their on-disk spelling).
+func newExportImporter(fset *token.FileSet, exports, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("%w: no export data for %q", ErrLint, path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

@@ -1,0 +1,36 @@
+// Fixture for the atomicfield analyzer: deg is accessed via sync/atomic
+// in fanout, so every plain element access elsewhere is a violation
+// unless annotated; aux is never atomic and stays silent.
+package atomicfield
+
+import "sync/atomic"
+
+type engine struct {
+	deg []int32
+	aux []int32
+}
+
+func (e *engine) fanout(v int) {
+	atomic.AddInt32(&e.deg[v], -1) // ok: the atomic access that creates the obligation
+}
+
+func (e *engine) serial(v int) {
+	e.deg[v] = 0  // want "non-atomic access to element of deg"
+	x := e.deg[v] // want "non-atomic access to element of deg"
+	_ = x
+	e.aux[v] = 2    // ok: aux is never accessed atomically
+	e.deg[v] = 3    //khcore:atomic-ok serial phase; no fan-out is in flight
+	n := len(e.deg) // ok: header read, not an element
+	_ = n
+}
+
+func (e *engine) viaAlias(v int) {
+	deg := e.deg // ok: copies the header
+	deg[v] = 1   // want "non-atomic access to element of deg"
+}
+
+func (e *engine) sweep() {
+	for i := range e.deg { // want "range over atomically-accessed field deg"
+		_ = i
+	}
+}

@@ -1,0 +1,46 @@
+// Fixture for the ctxpoll analyzer: traversal loops inside *Ctx and
+// //khcore:peel functions must reach a cancellation poll; counter-only
+// loops and unmarked functions stay silent.
+package ctxpoll
+
+import (
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/hbfs"
+	"repro/internal/vset"
+)
+
+func PeelCtx(ctx context.Context, g *graph.Graph, t *hbfs.Traversal, alive *vset.Set) {
+	for v := 0; v < g.NumVertices(); v++ { // want "traversal loop without a cancellation poll"
+		t.HDegree(v, 2, alive)
+	}
+	for v := 0; v < g.NumVertices(); v++ { // ok: polls ctx.Err
+		if ctx.Err() != nil {
+			return
+		}
+		t.HDegree(v, 2, alive)
+	}
+	//khcore:poll-ok bounded batch of at most 8 balls; the caller polls between batches
+	for v := 0; v < 8 && v < g.NumVertices(); v++ {
+		t.HDegree(v, 2, alive)
+	}
+	total := 0
+	for i := 0; i < 100; i++ { // ok: no traversal work
+		total += i
+	}
+	_ = total
+}
+
+//khcore:peel
+func peelMarked(g *graph.Graph, t *hbfs.Traversal, alive *vset.Set) {
+	for v := 0; v < g.NumVertices(); v++ { // want "traversal loop without a cancellation poll"
+		t.HDegree(v, 2, alive)
+	}
+}
+
+func unmarked(g *graph.Graph, t *hbfs.Traversal, alive *vset.Set) {
+	for v := 0; v < g.NumVertices(); v++ { // ok: not a *Ctx entry point and not marked //khcore:peel
+		t.HDegree(v, 2, alive)
+	}
+}

@@ -1,0 +1,52 @@
+// Fixture for the hotpathalloc analyzer: seeded allocating constructs in
+// //khcore:hotpath functions, plus the idioms that must stay silent —
+// receiver-owned appends, reslice aliases, annotated amortized growth.
+package hotpathalloc
+
+type ring struct {
+	buf []int32
+}
+
+func sink(x interface{}) { _ = x }
+
+//khcore:hotpath
+func (r *ring) push(v int32) {
+	r.buf = append(r.buf, v) // ok: receiver-owned storage
+	tmp := r.buf[:0]
+	tmp = append(tmp, v) // ok: alias of receiver storage
+	_ = tmp
+}
+
+//khcore:hotpath
+func (r *ring) bad(v int32) {
+	local := []int32{v}      // want "composite literal in hot path"
+	local = append(local, v) // want "append into function-local slice"
+	_ = local
+	m := make([]int32, 8) // want "make in hot path"
+	_ = m
+	p := new(ring) // want "new in hot path"
+	_ = p
+	f := func() { _ = v } // want "closure literal in hot path"
+	f()
+	sink(v) // want "boxes int32 into interface"
+}
+
+//khcore:hotpath
+func (r *ring) grow(n int) {
+	if cap(r.buf) < n {
+		r.buf = make([]int32, n) //khcore:alloc-ok amortized growth; steady state reuses capacity
+	}
+	r.buf = r.buf[:n]
+}
+
+func setup(n int) func() {
+	//khcore:hotpath
+	hot := func() {
+		_ = make([]int, 1) // want "make in hot path"
+	}
+	cold := func() {
+		_ = make([]int, n) // ok: unmarked closure
+	}
+	cold()
+	return hot
+}

@@ -1,0 +1,14 @@
+// Fixture for the khdirective analyzer: suppressions must carry a
+// reason, directives must be spelled correctly. Checked by TestKHDirective
+// with explicit assertions (want comments cannot share a line with the
+// directive comment they describe).
+package khdirective
+
+func annotated() {
+	_ = 1 //khcore:alloc-ok amortized growth, reused after warmup
+	_ = 2 //khcore:alloc-ok
+	_ = 3 //khcore:allocok misspelled directive
+}
+
+//khcore:hotpath
+func marked() {}

@@ -1,0 +1,6 @@
+package typederr
+
+import "errors"
+
+// ErrBad is the package sentinel; errors.New is legal only in this file.
+var ErrBad = errors.New("typederr: bad input")

@@ -1,0 +1,27 @@
+// Fixture for the typederr analyzer: errors.New belongs in errors.go and
+// fmt.Errorf must wrap with a w-verb; wrapped errors and annotated usage
+// text stay silent.
+package typederr
+
+import (
+	"errors"
+	"fmt"
+)
+
+func bad(name string) error {
+	if name == "" {
+		return errors.New("empty name") // want "errors.New outside errors.go"
+	}
+	return fmt.Errorf("unknown name %q", name) // want "fmt.Errorf without"
+}
+
+func good(name string, err error) error {
+	if err != nil {
+		return fmt.Errorf("loading %q: %w", name, err) // ok: wraps the cause
+	}
+	return fmt.Errorf("%w: %q", ErrBad, name) // ok: wraps the sentinel
+}
+
+func usage() error {
+	return fmt.Errorf("usage: prog [-h n] file") //khcore:err-ok CLI usage text, not a dispatchable program error
+}

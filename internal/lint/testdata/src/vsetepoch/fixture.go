@@ -1,0 +1,42 @@
+// Fixture for the vsetepoch analyzer: Add/Remove on an engine-owned
+// vset.Set needs an earlier epoch reset in the same function, a
+// //khcore:vset-caller-epoch marker, or a fresh/parameter set.
+package vsetepoch
+
+import "repro/internal/vset"
+
+type solver struct {
+	alive *vset.Set
+	tmp   *vset.Set
+}
+
+func (s *solver) reuseWithoutReset(v int) {
+	s.alive.Add(v) // want "without an earlier epoch reset"
+}
+
+func (s *solver) reuseWithReset(v int) {
+	s.alive.Clear()
+	s.alive.Add(v) // ok: epoch-cleared above
+}
+
+//khcore:vset-caller-epoch alive
+func (s *solver) callerOwnsAlive(v int) {
+	s.alive.Add(v) // ok: caller owns alive's epoch
+	s.tmp.Add(v)   // want "without an earlier epoch reset"
+}
+
+//khcore:vset-caller-epoch
+func (s *solver) callerOwnsAll(v int) {
+	s.alive.Add(v) // ok: caller owns every epoch
+	s.tmp.Remove(v)
+}
+
+func fresh(n, v int) *vset.Set {
+	t := vset.New(n)
+	t.Add(v) // ok: built in this function, epoch trivially fresh
+	return t
+}
+
+func viaParam(t *vset.Set, v int) {
+	t.Add(v) // ok: parameter; the caller owns the epoch by convention
+}

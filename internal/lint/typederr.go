@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// TypedErr keeps the errors.Is contract total: outside a package's
+// errors.go (where sentinels are born), errors.New is forbidden and
+// fmt.Errorf must wrap something — a %w verb carrying a sentinel or an
+// underlying error. An untyped fmt.Errorf("open %s: %v", ...) escapes
+// every errors.Is(err, ErrX) check a caller can write, which is exactly
+// the bug class the serving API's typed-error redesign removed; this
+// analyzer stops it from regrowing in cmd tools and new packages.
+//
+// Test files are out of scope by construction (the loader feeds GoFiles
+// only), and main.go usage/flag messages still need reasons via
+// //khcore:err-ok when they genuinely are not program errors.
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc: "forbid errors.New outside errors.go and require fmt.Errorf " +
+		"to wrap with %w so every error satisfies some errors.Is sentinel",
+	Run: runTypedErr,
+}
+
+func runTypedErr(pass *Pass) error {
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Pkg.Files {
+		base := filepath.Base(pass.Pkg.Fset.Position(file.Pos()).Filename)
+		if base == "errors.go" {
+			continue // the sentinel nursery
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case pkgPathOf(fn) == "errors" && fn.Name() == "New":
+				pass.Reportf("err", call.Pos(),
+					"errors.New outside errors.go: declare a sentinel there and wrap it with fmt.Errorf(\"...: %%w\", Err...)")
+			case pkgPathOf(fn) == "fmt" && fn.Name() == "Errorf":
+				if !errorfWraps(info, call) {
+					pass.Reportf("err", call.Pos(),
+						"fmt.Errorf without %%w: wrap a sentinel from errors.go so errors.Is keeps working")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorfWraps reports whether the fmt.Errorf call's format string (when
+// constant) contains a %w verb. Non-constant formats are given the
+// benefit of the doubt — the analyzer polices the idiom, not reflection.
+func errorfWraps(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return true
+	}
+	format := constant.StringVal(tv.Value)
+	for i := 0; i+1 < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		// Skip the verb's flags/width ("%+w" etc.) and literal %%.
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[j])) {
+			j++
+		}
+		if j < len(format) {
+			if format[j] == 'w' {
+				return true
+			}
+			if format[j] == '%' {
+				i = j
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (method or function), or nil for builtins, conversions and calls of
+// non-constant function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn // package-qualified call
+		}
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isConversion reports whether the call is a type conversion, returning
+// the target type.
+func isConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}
+
+// rootIdent walks to the base identifier of a selector/index/slice chain:
+// rootIdent(e.sv[0].alive) == e. Calls, composite literals and other
+// rootless expressions return nil; append(x, ...) and x[:0] chains root
+// at x so the "rooted in reusable storage" analyses see through the
+// idiomatic reslice-and-append patterns.
+func rootIdent(info *types.Info, e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			// A package-qualified name (pkg.Var) roots at the object, not
+			// the package ident; report the selected ident instead.
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					return x.Sel
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if isBuiltin(info, x, "append") && len(x.Args) > 0 {
+				e = x.Args[0]
+				continue
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// funcScopeObjects returns the objects declared by a function's receiver,
+// parameters and named results — the "externally rooted" storage of the
+// allocation and epoch analyses.
+func funcScopeObjects(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fn.Recv)
+	if fn.Type != nil {
+		addFields(fn.Type.Params)
+		addFields(fn.Type.Results)
+	}
+	return objs
+}
+
+// pkgPathOf returns the package path of a function object ("" for
+// builtins and universe-scope objects).
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// namedTypeName returns the name of t's core named type after stripping
+// pointers, or "" when t has none.
+func namedTypeName(t types.Type) string {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x.Obj().Name()
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return ""
+		}
+	}
+}
+
+// typeIsVsetSet reports whether t is (a pointer to) vset.Set.
+func typeIsVsetSet(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Set" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/vset")
+}
+
+// exprString renders a selector chain as a stable key ("s.alive",
+// "e.sv[0].capped"). Unrenderable parts collapse to "?", which simply
+// makes distinct chains compare unequal — safe for the analyses that use
+// the key to match resets to uses.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[" + exprString(x.Index) + "]"
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// VsetEpoch enforces the vertex-set reuse discipline: a vset.Set pulled
+// out of engine-owned storage (a struct field) carries the previous
+// query's members until it is epoch-cleared, so any function that Adds
+// into such a set must reset it first — Clear, Fill, Resize or CopyFrom
+// on the same set, earlier in the function — or declare that the caller
+// owns the epoch via //khcore:vset-caller-epoch [field ...]. Sets that
+// arrive as parameters or are built locally by vset.New/Clone are the
+// callee's or builder's responsibility and are exempt.
+//
+// The check is flow-insensitive by position: a reset anywhere before the
+// first mutating use satisfies it. That is an under-approximation of
+// "on every path", but it exactly matches the engine's bind/solve shape
+// and costs zero false positives on straight-line resets.
+var VsetEpoch = &Analyzer{
+	Name: "vsetepoch",
+	Doc: "require engine-owned vset.Sets to be epoch-cleared (Clear/Fill/" +
+		"Resize/CopyFrom) before Add/Remove reuse, unless the function is " +
+		"marked //khcore:vset-caller-epoch",
+	Run: runVsetEpoch,
+}
+
+var vsetResetMethods = map[string]bool{
+	"Clear": true, "Fill": true, "Resize": true, "CopyFrom": true,
+}
+
+var vsetMutateMethods = map[string]bool{
+	"Add": true, "Remove": true,
+}
+
+func runVsetEpoch(pass *Pass) error {
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			args, marked := pass.Ann.funcMarker(fn, markerCallerEpoch)
+			exemptAll := marked && args == ""
+			if exemptAll {
+				continue
+			}
+			exemptFields := map[string]bool{}
+			if marked {
+				for _, f := range splitFields(args) {
+					exemptFields[f] = true
+				}
+			}
+			checkVsetEpoch(pass, info, fn, exemptFields)
+		}
+	}
+	return nil
+}
+
+func splitFields(s string) []string {
+	var out []string
+	field := ""
+	for _, r := range s {
+		if r == ' ' || r == ',' || r == '\t' {
+			if field != "" {
+				out = append(out, field)
+				field = ""
+			}
+			continue
+		}
+		field += string(r)
+	}
+	if field != "" {
+		out = append(out, field)
+	}
+	return out
+}
+
+// checkVsetEpoch walks one function. For every method call set.Add(...)
+// where set is an engine-owned vset (rooted at a struct field, not a
+// parameter or a local fresh from vset.New/Clone), there must exist an
+// earlier reset call on the same selector chain.
+func checkVsetEpoch(pass *Pass, info *types.Info, fn *ast.FuncDecl, exemptFields map[string]bool) {
+	paramObjs := funcScopeObjects(info, fn)
+	freshLocals := collectFreshVsets(info, fn.Body)
+
+	// First pass: record the position of the earliest reset per chain key.
+	resetBefore := map[string]ast.Node{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !vsetResetMethods[sel.Sel.Name] {
+			return true
+		}
+		if !typeIsVsetSet(typeOf(info, sel.X)) {
+			return true
+		}
+		key := exprString(sel.X)
+		if prev, seen := resetBefore[key]; !seen || call.Pos() < prev.Pos() {
+			resetBefore[key] = call
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !vsetMutateMethods[sel.Sel.Name] {
+			return true
+		}
+		if !typeIsVsetSet(typeOf(info, sel.X)) {
+			return true
+		}
+		root := rootIdent(info, sel.X)
+		if root != nil {
+			obj := info.Uses[root]
+			if obj == nil {
+				obj = info.Defs[root]
+			}
+			if obj != nil && (freshLocals[obj]) {
+				return true // built in this function: epoch is trivially fresh
+			}
+			// A set that IS a parameter (not merely rooted at the receiver)
+			// is the caller's epoch: `func f(s *vset.Set) { s.Add(v) }`.
+			if obj != nil && paramObjs[obj] && typeIsVsetSet(obj.Type()) {
+				return true
+			}
+		}
+		// Field-granular exemption from //khcore:vset-caller-epoch capped.
+		if fieldSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && exemptFields[fieldSel.Sel.Name] {
+			return true
+		}
+		key := exprString(sel.X)
+		reset, seen := resetBefore[key]
+		if seen && reset.Pos() < call.Pos() {
+			return true
+		}
+		pass.Reportf("vset", call.Pos(),
+			"%s.%s on engine-owned vset without an earlier epoch reset (Clear/Fill/Resize/CopyFrom) in this function; if the caller owns the epoch, mark the function //khcore:vset-caller-epoch %s",
+			key, sel.Sel.Name, fieldNameOf(sel.X))
+		return true
+	})
+}
+
+func fieldNameOf(e ast.Expr) string {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return exprString(e)
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// collectFreshVsets finds locals assigned from vset.New/Clone (or a
+// composite literal) — sets whose epoch starts clean in this function.
+func collectFreshVsets(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !freshVsetExpr(info, rhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func freshVsetExpr(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := calleeFunc(info, x)
+		if fn == nil {
+			return false
+		}
+		if !typeIsVsetSet(resultType(fn)) {
+			return false
+		}
+		return fn.Name() == "New" || fn.Name() == "Clone"
+	case *ast.UnaryExpr:
+		return freshVsetExpr(info, x.X)
+	case *ast.CompositeLit:
+		return typeIsVsetSet(typeOf(info, x))
+	}
+	return false
+}
+
+func resultType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return nil
+	}
+	return sig.Results().At(0).Type()
+}

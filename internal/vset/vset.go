@@ -37,11 +37,13 @@ func (s *Set) Len() int { return s.n }
 // backing arrays are reused whenever their capacity suffices, so a
 // long-lived Set can follow a graph that grows and shrinks without
 // re-allocating in the steady state.
+//
+//khcore:hotpath
 func (s *Set) Resize(n int) {
 	w := (n + 63) / 64
 	if cap(s.words) < w {
-		s.words = make([]uint64, w)
-		s.stamp = make([]uint32, w)
+		s.words = make([]uint64, w) //khcore:alloc-ok amortized growth; steady-state resizes reuse capacity
+		s.stamp = make([]uint32, w) //khcore:alloc-ok amortized growth; steady-state resizes reuse capacity
 		s.epoch = 0
 	} else {
 		s.words = s.words[:w]
@@ -54,6 +56,8 @@ func (s *Set) Resize(n int) {
 // Clear empties the set in O(1) by advancing the epoch; words are lazily
 // zeroed when next written. The rare epoch wrap-around pays one eager
 // sweep to keep stale stamps from aliasing the new epoch.
+//
+//khcore:hotpath
 func (s *Set) Clear() {
 	s.epoch++
 	if s.epoch == 0 { // wrapped: eagerly reset every word once per 2^32 clears
@@ -71,6 +75,8 @@ func (s *Set) Clear() {
 }
 
 // Fill makes the set contain every vertex of the universe.
+//
+//khcore:hotpath
 func (s *Set) Fill() {
 	s.Clear()
 	for i := range s.words {
@@ -83,6 +89,8 @@ func (s *Set) Fill() {
 }
 
 // word returns the current value of word w, honoring the epoch.
+//
+//khcore:hotpath
 func (s *Set) word(w int) uint64 {
 	if s.stamp[w] != s.epoch {
 		return 0
@@ -93,6 +101,8 @@ func (s *Set) word(w int) uint64 {
 // touch validates v's word for the current epoch and returns its index.
 // Out-of-range ids panic: a silent write into the last partial word would
 // desynchronize Count/ForEach from Contains.
+//
+//khcore:hotpath
 func (s *Set) touch(v int) int {
 	if uint(v) >= uint(s.n) {
 		panic("vset: vertex id out of range")
@@ -106,6 +116,8 @@ func (s *Set) touch(v int) int {
 }
 
 // Contains reports whether v is a member. Out-of-range ids are non-members.
+//
+//khcore:hotpath
 func (s *Set) Contains(v int) bool {
 	if uint(v) >= uint(s.n) {
 		return false
@@ -115,18 +127,24 @@ func (s *Set) Contains(v int) bool {
 }
 
 // Add inserts v.
+//
+//khcore:hotpath
 func (s *Set) Add(v int) {
 	w := s.touch(v)
 	s.words[w] |= 1 << (uint(v) & 63)
 }
 
 // Remove deletes v.
+//
+//khcore:hotpath
 func (s *Set) Remove(v int) {
 	w := s.touch(v)
 	s.words[w] &^= 1 << (uint(v) & 63)
 }
 
 // Count returns the number of members (popcount over valid words).
+//
+//khcore:hotpath
 func (s *Set) Count() int {
 	total := 0
 	for w := range s.words {
@@ -137,6 +155,8 @@ func (s *Set) Count() int {
 
 // CopyFrom makes s an exact copy of o (same universe, same members),
 // reusing s's backing arrays when possible.
+//
+//khcore:hotpath
 func (s *Set) CopyFrom(o *Set) {
 	if s.n != o.n {
 		s.Resize(o.n)
@@ -157,6 +177,8 @@ func (s *Set) Clone() *Set {
 }
 
 // ForEach invokes fn for every member in ascending id order.
+//
+//khcore:hotpath
 func (s *Set) ForEach(fn func(v int)) {
 	for w := range s.words {
 		word := s.word(w)
@@ -171,6 +193,8 @@ func (s *Set) ForEach(fn func(v int)) {
 // AppendMembers appends the members in ascending order to dst (reset to
 // length 0 first) and returns it — the zero-alloc way to enumerate a set
 // into reusable scratch.
+//
+//khcore:hotpath
 func (s *Set) AppendMembers(dst []int32) []int32 {
 	dst = dst[:0]
 	for w := range s.words {
