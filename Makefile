@@ -17,7 +17,11 @@ COUNT ?= 6
 # and recorded in the JSON output.
 DATASET ?=
 
-.PHONY: build test lint race race-parallel race-approx bench bench-parallel bench-sampling bench-smoke
+.PHONY: build test lint race race-parallel race-approx chaos bench bench-parallel bench-sampling bench-smoke
+
+# Chaos campaign seed; CI runs a matrix of seeds. A failing run names its
+# seed — replay it here with KHCORE_CHAOS_SEED=<seed> make chaos.
+KHCORE_CHAOS_SEED ?= 1
 
 build:
 	go build ./...
@@ -53,6 +57,16 @@ race-parallel:
 # a GOMAXPROCS matrix by CI.
 race-approx:
 	go test -race -run 'TestApprox|TestSampled|TestPoolSampled' ./internal/core/ ./internal/hbfs/ .
+
+# chaos builds the module with the fault-injection sites compiled in and
+# storms the engine pool and the serving daemon with seeded panics,
+# delays and cancellations under the race detector (see README
+# "Operations"). Deterministic per seed.
+chaos:
+	go build -tags faultinject ./...
+	KHCORE_CHAOS_SEED=$(KHCORE_CHAOS_SEED) go test -race -tags faultinject \
+		-run 'TestChaos|TestFaultInject|TestInjected|TestDraw|TestDelay|TestCancel|TestHits' \
+		./internal/faultinject/ ./internal/core/ ./cmd/khserve/
 
 # bench runs the kernel benchmark suite and records it into
 # BENCH_kernels.json via cmd/benchjson. Drop a baseline run (same format,

@@ -1,0 +1,255 @@
+//go:build faultinject
+
+// Chaos suite for the serving daemon: with the fault-injection sites
+// armed, a seeded storm of panics, delays and request cancellations must
+// never produce anything but well-formed HTTP — every response is one of
+// {200, 429, 499, 500, 503, 504} with a valid JSON body and a
+// machine-readable code, nothing hangs, no goroutine leaks, and the
+// engine fleet provably returns to full capacity afterwards. Run with:
+//
+//	go test -race -tags faultinject -run TestChaos ./cmd/khserve/
+//
+// KHCORE_CHAOS_SEED selects the campaign seed (CI runs a small matrix).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	khcore "repro"
+	"repro/internal/faultinject"
+)
+
+func chaosSeed(t *testing.T) uint64 {
+	t.Helper()
+	v := os.Getenv("KHCORE_CHAOS_SEED")
+	if v == "" {
+		return 1
+	}
+	seed, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		t.Fatalf("KHCORE_CHAOS_SEED=%q: %v", v, err)
+	}
+	return seed
+}
+
+// wellFormed are the only statuses the daemon may emit under chaos: a
+// result, a shed, a drain/unavailable, a typed engine failure, a client
+// cancellation, or a deadline — never anything unexplained.
+var wellFormed = map[int]bool{
+	http.StatusOK:                  true,
+	http.StatusTooManyRequests:     true,
+	499:                            true, // client canceled (nginx convention)
+	http.StatusInternalServerError: true,
+	http.StatusServiceUnavailable:  true,
+	http.StatusGatewayTimeout:      true,
+}
+
+// TestChaosServe hammers the full handler stack — admission control,
+// degradation, the engine pool, quarantine and rebuild — while every
+// fault site injects panics, delays and in-flight cancellations.
+func TestChaosServe(t *testing.T) {
+	seed := chaosSeed(t)
+	t.Logf("chaos seed %d (set KHCORE_CHAOS_SEED to reproduce)", seed)
+	s, g := testServer(t, 2)
+	h := s.handler()
+	want, err := khcore.Decompose(g, khcore.Options{H: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live in-flight cancel funcs: a CancelFault drawn at any site aborts
+	// every active request, exercising the 499 path mid-decomposition.
+	var mu sync.Mutex
+	cancels := map[int]context.CancelFunc{}
+	next := 0
+	faultinject.Enable(faultinject.Plan{
+		Seed:       seed,
+		PanicRate:  0.004,
+		DelayRate:  0.02,
+		CancelRate: 0.002,
+		Delay:      20 * time.Microsecond,
+		OnCancel: func() {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, cancel := range cancels {
+				cancel()
+			}
+		},
+	})
+	defer faultinject.Disable()
+
+	urls := []string{
+		"/decompose?h=2&vertices=1",
+		"/decompose?h=3",
+		"/decompose?h=2&timeout=50ms",
+		"/core?h=2&k=3",
+		"/spectrum?maxh=3",
+		"/hierarchy?h=2",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				url := urls[(w+i)%len(urls)]
+				ctx, cancel := context.WithCancel(context.Background())
+				mu.Lock()
+				id := next
+				next++
+				cancels[id] = cancel
+				mu.Unlock()
+
+				req := httptest.NewRequest("GET", url, nil).WithContext(ctx)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+
+				mu.Lock()
+				delete(cancels, id)
+				mu.Unlock()
+				cancel()
+
+				if !wellFormed[rec.Code] {
+					errs <- fmt.Errorf("%s: status %d not in the well-formed set: %s", url, rec.Code, rec.Body.String())
+					return
+				}
+				if rec.Code == http.StatusOK {
+					if url == urls[0] {
+						var body decomposeResponse
+						if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+							errs <- fmt.Errorf("%s: 200 with undecodable body: %v", url, err)
+							return
+						}
+						// A successful non-degraded answer under chaos is still exact.
+						if !body.Degraded {
+							for v, c := range want.Core {
+								if body.Core[v] != c {
+									errs <- fmt.Errorf("chaos success diverged at vertex %d", v)
+									return
+								}
+							}
+						}
+					}
+					continue
+				}
+				var body errorBody
+				if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+					errs <- fmt.Errorf("%s: status %d with undecodable body %q: %v", url, rec.Code, rec.Body.String(), err)
+					return
+				}
+				if body.Code == "" || body.Error == "" {
+					errs <- fmt.Errorf("%s: status %d without code/error: %+v", url, rec.Code, body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	hits := faultinject.Hits()
+	faultinject.Disable()
+	fired := 0
+	for _, n := range hits {
+		if n > 0 {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no fault site fired: the campaign exercised nothing")
+	}
+
+	// The fleet must provably return to full capacity: every quarantined
+	// engine rebuilt, and a clean request served by each engine slot.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.pool.Rebuilding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rebuild never completed: Rebuilding()=%d", s.pool.Rebuilding())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < s.pool.Size()+1; i++ {
+		var body decomposeResponse
+		resp := get(t, h, "/decompose?h=2&vertices=1", &body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-chaos request %d: status %d", i, resp.StatusCode)
+		}
+		for v, c := range want.Core {
+			if body.Core[v] != c {
+				t.Fatalf("post-chaos run %d diverged at vertex %d: %d != %d", i, v, body.Core[v], c)
+			}
+		}
+	}
+	var hz healthzResponse
+	get(t, h, "/healthz", &hz)
+	if hz.Rebuilding != 0 {
+		t.Fatalf("healthz still reports %d rebuilding after recovery", hz.Rebuilding)
+	}
+}
+
+// TestChaosAdmissionUnderFaults pins the interaction the tentpole cares
+// most about: a panicking engine is quarantined while its admission
+// token is already released, so shedding pressure and pool capacity
+// recover independently and the server ends the storm serving normally.
+func TestChaosAdmissionUnderFaults(t *testing.T) {
+	seed := chaosSeed(t)
+	s, _ := testServer(t, 1)
+	h := s.handler()
+	// A tight admission limit plus aggressive panics: requests race for
+	// one token while the single engine is repeatedly destroyed.
+	s.maxInflight = 1
+	s.inflight = make(chan struct{}, 1)
+	faultinject.Enable(faultinject.Plan{Seed: seed, PanicRate: 0.05})
+	defer faultinject.Disable()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				req := httptest.NewRequest("GET", "/decompose?h=2", nil)
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if !wellFormed[rec.Code] {
+					errs <- fmt.Errorf("status %d not well-formed: %s", rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	faultinject.Disable()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for s.pool.Rebuilding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rebuild never completed: Rebuilding()=%d", s.pool.Rebuilding())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp := get(t, h, "/decompose?h=2", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-storm request: status %d", resp.StatusCode)
+	}
+	if len(s.inflight) != 0 {
+		t.Fatalf("%d admission tokens leaked through the storm", len(s.inflight))
+	}
+}

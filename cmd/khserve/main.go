@@ -12,7 +12,8 @@
 //
 // Endpoints (all GET, all JSON):
 //
-//	/healthz                       liveness + graph/pool shape
+//	/healthz                       liveness + resolved serving configuration
+//	/readyz                        readiness: 200 while serving, 503 once draining
 //	/decompose?h=2&algo=lbub       decomposition summary (&vertices=1 for per-vertex cores)
 //	/decompose?h=3&mode=approx     fast tier: sampling-based approximate decomposition
 //	                               (&epsilon=0.3&seed=7&budget=17 tune it; the response's
@@ -26,6 +27,23 @@
 // exceeds its deadline is canceled cooperatively inside the engine (the
 // peeling loops and partition work queue poll the context) and reports
 // HTTP 504; the engine returns to the pool immediately reusable.
+//
+// Fault tolerance (see README "Operations"):
+//
+//   - Admission control: at most -max-inflight queries run concurrently;
+//     excess load sheds immediately with 429 + Retry-After and the error
+//     code "overloaded" instead of queueing without bound.
+//   - Graceful degradation: per-(h, algorithm) latency EWMAs estimate
+//     whether an exact run fits the request's deadline; when it cannot,
+//     /decompose and /core fall back to the sampling-based approximate
+//     tier, marking the response "degraded": true and attaching the
+//     realized error bound. Opt out per request with degrade=never.
+//   - Panic quarantine: an engine panic surfaces as one HTTP 500 with
+//     code "engine_panic"; the EnginePool quarantines and rebuilds the
+//     engine in the background, so the process and all other requests
+//     keep serving.
+//   - Graceful shutdown: SIGINT/SIGTERM flips /readyz to 503, drains
+//     in-flight requests for up to -drain, then closes the engine fleet.
 package main
 
 import (
@@ -35,9 +53,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	khcore "repro"
@@ -45,22 +67,33 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		dataset    = flag.String("dataset", "", "built-in dataset name, or a path to a SNAP edge-list file")
-		engines    = flag.Int("engines", 0, "engine fleet size (0 = NumCPU)")
-		workers    = flag.Int("workers", 1, "h-BFS workers per engine (0 = NumCPU); engines×workers is the peak goroutine count")
-		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
-		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "upper cap on the per-request ?timeout= override")
-		maxH       = flag.Int("max-h", 8, "largest accepted distance threshold (guards the O(n·ball) blow-up of huge h)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataset     = flag.String("dataset", "", "built-in dataset name, or a path to a SNAP edge-list file")
+		engines     = flag.Int("engines", 0, "engine fleet size (0 = NumCPU)")
+		workers     = flag.Int("workers", 1, "h-BFS workers per engine (0 = NumCPU); engines×workers is the peak goroutine count")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "upper cap on the per-request ?timeout= override")
+		maxH        = flag.Int("max-h", 8, "largest accepted distance threshold (guards the O(n·ball) blow-up of huge h)")
+		maxInflight = flag.Int("max-inflight", 0, "concurrent query limit before shedding with 429 (0 = 2×engines)")
+		drain       = flag.Duration("drain", 30*time.Second, "in-flight drain deadline of a SIGTERM/SIGINT graceful shutdown")
 	)
 	flag.Parse()
-	if err := run(*addr, *dataset, *engines, *workers, *timeout, *maxTimeout, *maxH, flag.Args()); err != nil {
+	cfg := serverConfig{
+		Engines:     *engines,
+		Workers:     *workers,
+		Timeout:     *timeout,
+		MaxTimeout:  *maxTimeout,
+		MaxH:        *maxH,
+		MaxInflight: *maxInflight,
+		Drain:       *drain,
+	}
+	if err := run(*addr, *dataset, cfg, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "khserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataset string, engines, workers int, timeout, maxTimeout time.Duration, maxH int, args []string) error {
+func run(addr, dataset string, cfg serverConfig, args []string) error {
 	var g *khcore.Graph
 	var ids []int64
 	switch {
@@ -84,28 +117,28 @@ func run(addr, dataset string, engines, workers int, timeout, maxTimeout time.Du
 		return fmt.Errorf("%w: need exactly one edge-list file or -dataset (known datasets: %v)", errUsage, khcore.DatasetNames())
 	}
 
-	s, err := newServer(g, ids, engines, workers, timeout, maxTimeout, maxH)
+	s, err := newServer(g, ids, cfg)
 	if err != nil {
 		return err
 	}
 	defer s.pool.Close()
-	log.Printf("khserve: %d vertices, %d edges, %d engines × %d workers, listening on %s",
-		g.NumVertices(), g.NumEdges(), s.pool.Size(), workers, addr)
-	srv := &http.Server{
-		Addr:    addr,
-		Handler: s.handler(),
-		// The per-request ?timeout= deadline only starts once the handler
-		// runs; these bound the phases before that, so slow clients can't
-		// accumulate header-reading goroutines unboundedly.
-		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
 	}
-	return srv.ListenAndServe()
+	// Log the resolved configuration, not the raw flags: -engines 0 and
+	// -workers 0 mean NumCPU, and "× 0 workers" in the startup line has
+	// sent more than one operator hunting a nonexistent misconfiguration.
+	log.Printf("khserve: %d vertices, %d edges, %d engines × %d workers, max %d in-flight, listening on %s",
+		g.NumVertices(), g.NumEdges(), s.pool.Size(), s.pool.WorkersPerEngine(), s.maxInflight, ln.Addr())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return s.serve(ctx, ln)
 }
 
-// server holds the serving state: one immutable graph and the engine
-// fleet all request goroutines multiplex onto.
+// server holds the serving state: one immutable graph, the engine fleet
+// all request goroutines multiplex onto, the admission limiter, and the
+// latency tracker behind deadline-aware degradation.
 type server struct {
 	g          *khcore.Graph
 	ids        []int64 // dense id -> original edge-list id (nil for datasets)
@@ -113,32 +146,74 @@ type server struct {
 	timeout    time.Duration
 	maxTimeout time.Duration
 	maxH       int
+
+	// inflight is the admission semaphore: a query endpoint must place a
+	// token to run and sheds with 429 when it cannot. maxInflight is its
+	// capacity, surfaced in /healthz.
+	inflight    chan struct{}
+	maxInflight int
+	// draining flips once at the start of a graceful shutdown: /readyz
+	// reports 503 and query endpoints stop admitting.
+	draining atomic.Bool
+	// drain bounds how long serve waits for in-flight requests.
+	drain time.Duration
+	// lat estimates per-(h, algorithm) exact latency for degradation.
+	lat latencyTracker
 }
 
-func newServer(g *khcore.Graph, ids []int64, engines, workers int, timeout, maxTimeout time.Duration, maxH int) (*server, error) {
-	pool, err := khcore.NewEnginePool(g, engines, workers)
+// serverConfig collects the serving knobs of newServer; zero values
+// resolve to production defaults.
+type serverConfig struct {
+	Engines     int           // fleet size (≤ 0 = NumCPU)
+	Workers     int           // h-BFS workers per engine (≤ 0 = NumCPU)
+	Timeout     time.Duration // default per-request deadline
+	MaxTimeout  time.Duration // cap on ?timeout= overrides
+	MaxH        int           // largest accepted h
+	MaxInflight int           // admission limit (≤ 0 = 2×engines)
+	Drain       time.Duration // graceful-shutdown drain deadline
+}
+
+func newServer(g *khcore.Graph, ids []int64, cfg serverConfig) (*server, error) {
+	pool, err := khcore.NewEnginePool(g, cfg.Engines, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
-	if timeout <= 0 {
-		timeout = 30 * time.Second
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
 	}
-	if maxTimeout < timeout {
-		maxTimeout = timeout
+	if cfg.MaxTimeout < cfg.Timeout {
+		cfg.MaxTimeout = cfg.Timeout
 	}
-	if maxH < 1 {
-		maxH = 8
+	if cfg.MaxH < 1 {
+		cfg.MaxH = 8
 	}
-	return &server{g: g, ids: ids, pool: pool, timeout: timeout, maxTimeout: maxTimeout, maxH: maxH}, nil
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2 * pool.Size()
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = 30 * time.Second
+	}
+	return &server{
+		g:           g,
+		ids:         ids,
+		pool:        pool,
+		timeout:     cfg.Timeout,
+		maxTimeout:  cfg.MaxTimeout,
+		maxH:        cfg.MaxH,
+		inflight:    make(chan struct{}, cfg.MaxInflight),
+		maxInflight: cfg.MaxInflight,
+		drain:       cfg.Drain,
+	}, nil
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /decompose", s.handleDecompose)
-	mux.HandleFunc("GET /core", s.handleCore)
-	mux.HandleFunc("GET /spectrum", s.handleSpectrum)
-	mux.HandleFunc("GET /hierarchy", s.handleHierarchy)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /decompose", s.limited(s.handleDecompose))
+	mux.HandleFunc("GET /core", s.limited(s.handleCore))
+	mux.HandleFunc("GET /spectrum", s.limited(s.handleSpectrum))
+	mux.HandleFunc("GET /hierarchy", s.limited(s.handleHierarchy))
 	return mux
 }
 
@@ -161,39 +236,50 @@ func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return ctx, cancel, nil
 }
 
-// errorBody is the JSON error envelope; Kind is the typed-error sentinel
-// name so clients can dispatch without parsing the message.
+// errorBody is the JSON error envelope; Code is the machine-readable
+// error code (the typed-error sentinel's name) so clients dispatch
+// without parsing the message.
 type errorBody struct {
 	Error string `json:"error"`
-	Kind  string `json:"kind,omitempty"`
+	Code  string `json:"code,omitempty"`
 }
 
-// writeErr maps the library's typed errors onto HTTP statuses: malformed
-// requests (ErrInvalidH, ErrUnknownAlgorithm, the baseline gate) are 400s,
-// a deadline expiry is 504, a client abort 499 (nginx convention), and a
-// shut-down pool 503.
-func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	kind := ""
+// errorCode maps the library's typed errors onto (HTTP status, error
+// code) pairs: malformed requests (ErrInvalidH, ErrUnknownAlgorithm, the
+// baseline gate) are 400s, a deadline expiry is 504, a client abort 499
+// (nginx convention), a shut-down pool 503, and a quarantined engine
+// panic 500 with a retryable code — by the time the client sees it the
+// pool is already rebuilding the engine. The default is 500 "internal".
+func errorCode(err error) (status int, code string) {
 	switch {
 	case errors.Is(err, khcore.ErrInvalidH):
-		status, kind = http.StatusBadRequest, "invalid_h"
+		return http.StatusBadRequest, "invalid_h"
 	case errors.Is(err, khcore.ErrUnknownAlgorithm):
-		status, kind = http.StatusBadRequest, "unknown_algorithm"
+		return http.StatusBadRequest, "unknown_algorithm"
 	case errors.Is(err, khcore.ErrBaselineGated):
-		status, kind = http.StatusBadRequest, "baseline_gated"
+		return http.StatusBadRequest, "baseline_gated"
 	case errors.Is(err, khcore.ErrInvalidApprox):
-		status, kind = http.StatusBadRequest, "invalid_approx"
+		return http.StatusBadRequest, "invalid_approx"
 	case errors.Is(err, khcore.ErrNilGraph):
-		status, kind = http.StatusServiceUnavailable, "nil_graph"
+		return http.StatusServiceUnavailable, "nil_graph"
 	case errors.Is(err, khcore.ErrPoolClosed):
-		status, kind = http.StatusServiceUnavailable, "pool_closed"
+		return http.StatusServiceUnavailable, "pool_closed"
+	case errors.Is(err, khcore.ErrEnginePanic):
+		return http.StatusInternalServerError, "engine_panic"
 	case errors.Is(err, context.DeadlineExceeded):
-		status, kind = http.StatusGatewayTimeout, "deadline_exceeded"
+		return http.StatusGatewayTimeout, "deadline_exceeded"
 	case errors.Is(err, khcore.ErrCanceled):
-		status, kind = 499, "canceled" // client went away mid-run
+		return 499, "canceled" // client went away mid-run
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest, "bad_request"
+	default:
+		return http.StatusInternalServerError, "internal"
 	}
-	writeJSON(w, status, errorBody{Error: err.Error(), Kind: kind})
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status, code := errorCode(err)
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -283,31 +369,56 @@ func parseApprox(r *http.Request) (khcore.ApproxOptions, error) {
 	return ap, nil
 }
 
+// healthzResponse reports liveness plus the *resolved* serving
+// configuration — the effective engine/worker counts and admission
+// limits, never the raw flag values (0 = NumCPU would otherwise leak
+// into dashboards), and the current fault-recovery state.
 type healthzResponse struct {
-	Status   string `json:"status"`
-	Vertices int    `json:"vertices"`
-	Edges    int    `json:"edges"`
-	Engines  int    `json:"engines"`
+	Status           string `json:"status"`
+	Vertices         int    `json:"vertices"`
+	Edges            int    `json:"edges"`
+	Engines          int    `json:"engines"`
+	WorkersPerEngine int    `json:"workersPerEngine"`
+	Rebuilding       int    `json:"rebuilding"`
+	MaxInflight      int    `json:"maxInflight"`
+	Inflight         int    `json:"inflight"`
+	MaxH             int    `json:"maxH"`
+	TimeoutMS        int64  `json:"timeoutMs"`
+	MaxTimeoutMS     int64  `json:"maxTimeoutMs"`
+	Draining         bool   `json:"draining"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthzResponse{
-		Status:   "ok",
-		Vertices: s.g.NumVertices(),
-		Edges:    s.g.NumEdges(),
-		Engines:  s.pool.Size(),
+		Status:           "ok",
+		Vertices:         s.g.NumVertices(),
+		Edges:            s.g.NumEdges(),
+		Engines:          s.pool.Size(),
+		WorkersPerEngine: s.pool.WorkersPerEngine(),
+		Rebuilding:       s.pool.Rebuilding(),
+		MaxInflight:      s.maxInflight,
+		Inflight:         len(s.inflight),
+		MaxH:             s.maxH,
+		TimeoutMS:        s.timeout.Milliseconds(),
+		MaxTimeoutMS:     s.maxTimeout.Milliseconds(),
+		Draining:         s.draining.Load(),
 	})
 }
 
 type decomposeResponse struct {
-	H             int          `json:"h"`
-	Algorithm     string       `json:"algorithm"`
-	MaxCoreIndex  int          `json:"maxCoreIndex"`
-	DistinctCores int          `json:"distinctCores"`
-	CoreSizes     []int        `json:"coreSizes"`
-	DurationMS    int64        `json:"durationMs"`
-	Approx        *approxBlock `json:"approx,omitempty"`
-	Core          []int        `json:"core,omitempty"`
+	H             int    `json:"h"`
+	Algorithm     string `json:"algorithm"`
+	MaxCoreIndex  int    `json:"maxCoreIndex"`
+	DistinctCores int    `json:"distinctCores"`
+	CoreSizes     []int  `json:"coreSizes"`
+	DurationMS    int64  `json:"durationMs"`
+	// Degraded marks a response the server downgraded from exact to the
+	// approximate tier because the deadline budget could not cover the
+	// estimated exact latency; Approx then reports the realized error
+	// bound. Requests opt out with degrade=never.
+	Degraded bool         `json:"degraded,omitempty"`
+	Approx   *approxBlock `json:"approx,omitempty"`
+	Core     []int        `json:"core,omitempty"`
 }
 
 // approxBlock is the quality report of a mode=approx response — the
@@ -343,7 +454,7 @@ func newApproxBlock(st khcore.ApproxStats) *approxBlock {
 func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_timeout"})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad_timeout"})
 		return
 	}
 	defer cancel()
@@ -362,11 +473,20 @@ func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	res, err := s.pool.Decompose(ctx, khcore.Options{H: h, Algorithm: algo, Approx: ap})
+	degrade, err := parseDegrade(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	opts := khcore.Options{H: h, Algorithm: algo, Approx: ap}
+	degraded := s.maybeDegrade(ctx, &opts, degrade)
+	start := time.Now()
+	res, err := s.pool.Decompose(ctx, opts)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.lat.observe(h, algo, opts.Approx.Enabled, time.Since(start))
 	resp := decomposeResponse{
 		H:             res.H,
 		Algorithm:     algo.String(),
@@ -374,6 +494,7 @@ func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		DistinctCores: res.DistinctCores(),
 		CoreSizes:     res.CoreSizes(),
 		DurationMS:    res.Stats.Duration.Milliseconds(),
+		Degraded:      degraded,
 	}
 	if res.Stats.Approx.Enabled {
 		resp.Approx = newApproxBlock(res.Stats.Approx)
@@ -390,12 +511,16 @@ type coreResponse struct {
 	Size    int     `json:"size"`
 	Members []int   `json:"members"`
 	IDs     []int64 `json:"ids,omitempty"`
+	// Degraded and Approx mirror decomposeResponse: set when the server
+	// fell back to the approximate tier to meet the request deadline.
+	Degraded bool         `json:"degraded,omitempty"`
+	Approx   *approxBlock `json:"approx,omitempty"`
 }
 
 func (s *server) handleCore(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_timeout"})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad_timeout"})
 		return
 	}
 	defer cancel()
@@ -409,21 +534,33 @@ func (s *server) handleCore(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	k := 1
-	if v := r.URL.Query().Get("k"); v != "" {
-		var perr error
-		if k, perr = strconv.Atoi(v); perr != nil || k < 0 {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad k=%q", v), Kind: "bad_k"})
-			return
-		}
-	}
-	res, err := s.pool.Decompose(ctx, khcore.Options{H: h, Approx: ap})
+	degrade, err := parseDegrade(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	k := 1
+	if v := r.URL.Query().Get("k"); v != "" {
+		var perr error
+		if k, perr = strconv.Atoi(v); perr != nil || k < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad k=%q", v), Code: "bad_k"})
+			return
+		}
+	}
+	opts := khcore.Options{H: h, Approx: ap}
+	degraded := s.maybeDegrade(ctx, &opts, degrade)
+	start := time.Now()
+	res, err := s.pool.Decompose(ctx, opts)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.lat.observe(h, opts.Algorithm, opts.Approx.Enabled, time.Since(start))
 	members := res.CoreVertices(k)
-	resp := coreResponse{H: h, K: k, Size: len(members), Members: members}
+	resp := coreResponse{H: h, K: k, Size: len(members), Members: members, Degraded: degraded}
+	if res.Stats.Approx.Enabled {
+		resp.Approx = newApproxBlock(res.Stats.Approx)
+	}
 	if s.ids != nil {
 		resp.IDs = make([]int64, len(members))
 		for i, v := range members {
@@ -448,7 +585,7 @@ type spectrumResponse struct {
 func (s *server) handleSpectrum(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_timeout"})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad_timeout"})
 		return
 	}
 	defer cancel()
@@ -502,7 +639,7 @@ type hierarchyResponse struct {
 func (s *server) handleHierarchy(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel, err := s.requestCtx(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_timeout"})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Code: "bad_timeout"})
 		return
 	}
 	defer cancel()

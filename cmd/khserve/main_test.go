@@ -10,14 +10,27 @@ import (
 	"time"
 
 	khcore "repro"
+	"repro/internal/leakcheck"
 )
 
 // testServer builds a server over a deterministic synthetic graph with a
-// small engine fleet, the shape the daemon runs with in production.
+// small engine fleet, the shape the daemon runs with in production. Every
+// test through it also runs under the goroutine leak checker — the
+// engine fleet's parked h-BFS helpers must all retire with the pool.
 func testServer(t *testing.T, engines int) (*server, *khcore.Graph) {
 	t.Helper()
+	leakcheck.Check(t)
 	g := khcore.BarabasiAlbert(300, 3, 42)
-	s, err := newServer(g, nil, engines, 1, 5*time.Second, time.Minute, 8)
+	s, err := newServer(g, nil, serverConfig{
+		Engines:    engines,
+		Workers:    1,
+		Timeout:    5 * time.Second,
+		MaxTimeout: time.Minute,
+		MaxH:       8,
+		// Functional tests drive more concurrency than the engine fleet;
+		// shedding is exercised by the dedicated admission tests.
+		MaxInflight: 64,
+	})
 	if err != nil {
 		t.Fatalf("newServer: %v", err)
 	}
@@ -134,7 +147,7 @@ func TestRequestValidation(t *testing.T) {
 	cases := []struct {
 		url    string
 		status int
-		kind   string
+		code   string
 	}{
 		{"/decompose?h=0", http.StatusBadRequest, "invalid_h"},
 		{"/decompose?h=99", http.StatusBadRequest, "invalid_h"},
@@ -149,9 +162,9 @@ func TestRequestValidation(t *testing.T) {
 	for _, c := range cases {
 		var body errorBody
 		resp := get(t, h, c.url, &body)
-		if resp.StatusCode != c.status || body.Kind != c.kind {
-			t.Errorf("%s: got status %d kind %q, want %d %q (error: %s)",
-				c.url, resp.StatusCode, body.Kind, c.status, c.kind, body.Error)
+		if resp.StatusCode != c.status || body.Code != c.code {
+			t.Errorf("%s: got status %d code %q, want %d %q (error: %s)",
+				c.url, resp.StatusCode, body.Code, c.status, c.code, body.Error)
 		}
 	}
 }
@@ -162,8 +175,8 @@ func TestDeadlineExpiryReports504(t *testing.T) {
 	// poll, so the run aborts as canceled-with-DeadlineExceeded.
 	var body errorBody
 	resp := get(t, s.handler(), "/decompose?h=2&timeout=1ns", &body)
-	if resp.StatusCode != http.StatusGatewayTimeout || body.Kind != "deadline_exceeded" {
-		t.Fatalf("got status %d kind %q, want 504 deadline_exceeded", resp.StatusCode, body.Kind)
+	if resp.StatusCode != http.StatusGatewayTimeout || body.Code != "deadline_exceeded" {
+		t.Fatalf("got status %d code %q, want 504 deadline_exceeded", resp.StatusCode, body.Code)
 	}
 	// The engine that absorbed the canceled run must serve the next
 	// request normally.
@@ -294,9 +307,9 @@ func TestApproxRequestValidation(t *testing.T) {
 	} {
 		var body errorBody
 		resp := get(t, h, url, &body)
-		if resp.StatusCode != http.StatusBadRequest || body.Kind != "invalid_approx" {
-			t.Errorf("%s: got status %d kind %q, want 400 invalid_approx (error: %s)",
-				url, resp.StatusCode, body.Kind, body.Error)
+		if resp.StatusCode != http.StatusBadRequest || body.Code != "invalid_approx" {
+			t.Errorf("%s: got status %d code %q, want 400 invalid_approx (error: %s)",
+				url, resp.StatusCode, body.Code, body.Error)
 		}
 	}
 }

@@ -1,0 +1,193 @@
+// Operational machinery of the serving daemon: admission control,
+// deadline-aware degradation, readiness, and graceful shutdown. The
+// query handlers in main.go stay pure request→response logic; everything
+// that decides WHETHER and HOW a request runs lives here.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	khcore "repro"
+)
+
+// limited wraps a query endpoint in the admission controller: requests
+// beyond the in-flight limit shed immediately with 429 + Retry-After
+// (code "overloaded") instead of queueing without bound on the engine
+// pool, and a draining server stops admitting outright (503, code
+// "draining"). /healthz and /readyz bypass it — probes must answer even
+// when the query plane is saturated.
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorBody{Error: "khserve: draining for shutdown", Code: "draining"})
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{
+				Error: fmt.Sprintf("khserve: %d queries already in flight, try again shortly", s.maxInflight),
+				Code:  "overloaded",
+			})
+			return
+		}
+		defer func() { <-s.inflight }()
+		h(w, r)
+	}
+}
+
+// readyzResponse is the readiness probe body.
+type readyzResponse struct {
+	Status string `json:"status"`
+}
+
+// handleReadyz is the readiness probe: 200 while the server admits
+// queries, 503 once a graceful shutdown has begun — the signal for a
+// load balancer to stop routing here while in-flight requests drain.
+// Liveness (/healthz) stays 200 throughout, so an orchestrator does not
+// kill a draining process.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, readyzResponse{Status: "ready"})
+}
+
+// serve runs the HTTP front-end on ln until ctx is canceled (SIGTERM or
+// SIGINT in production), then shuts down gracefully: /readyz flips to
+// 503 and new queries stop admitting, in-flight requests drain for up to
+// s.drain, and only after the drain does the engine fleet close — an
+// engine mid-decomposition is never yanked out from under its request.
+func (s *server) serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler: s.handler(),
+		// The per-request ?timeout= deadline only starts once the handler
+		// runs; these bound the phases before that, so slow clients can't
+		// accumulate header-reading goroutines unboundedly.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// The listener failed outright; nothing is serving, close now.
+		s.pool.Close()
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.drain)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx) // non-nil iff the drain deadline expired
+	<-errc                           // the Serve goroutine has exited (http.ErrServerClosed)
+	s.pool.Close()
+	return err
+}
+
+// degradePolicy is the per-request ?degrade= choice.
+type degradePolicy int
+
+const (
+	// degradeAuto (the default) lets the server fall back to the
+	// approximate tier when the deadline budget cannot cover an exact run.
+	degradeAuto degradePolicy = iota
+	// degradeNever forces exact: the request would rather 504 than accept
+	// a bounded-error answer.
+	degradeNever
+)
+
+func parseDegrade(r *http.Request) (degradePolicy, error) {
+	switch v := r.URL.Query().Get("degrade"); v {
+	case "", "auto":
+		return degradeAuto, nil
+	case "never":
+		return degradeNever, nil
+	default:
+		return 0, fmt.Errorf("%w: degrade=%q (want auto or never)", errBadRequest, v)
+	}
+}
+
+// latKey identifies one latency population: requests of the same
+// distance threshold, algorithm and tier have comparable cost; mixing
+// them would let a cheap h=2 flood mask an expensive h=5 estimate.
+type latKey struct {
+	h      int
+	algo   khcore.Algorithm
+	approx bool
+}
+
+// latencyTracker maintains an exponentially weighted moving average of
+// request latency per (h, algorithm, tier). It deliberately tracks
+// successful runs only — a 504'd run's latency is censored at the
+// deadline and would bias the estimate downwards, eventually convincing
+// the server that doomed exact runs fit their budgets.
+type latencyTracker struct {
+	mu  sync.Mutex
+	est map[latKey]time.Duration
+}
+
+// observe folds one successful run into the population's EWMA with
+// weight 1/4: new populations adopt the first sample outright, then each
+// further sample moves the estimate a quarter of the way — smooth enough
+// to ride out one outlier, fresh enough to track a warming cache.
+func (l *latencyTracker) observe(h int, algo khcore.Algorithm, approx bool, d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.est == nil {
+		l.est = make(map[latKey]time.Duration)
+	}
+	k := latKey{h: h, algo: algo, approx: approx}
+	if cur, ok := l.est[k]; ok {
+		l.est[k] = cur + (d-cur)/4
+	} else {
+		l.est[k] = d
+	}
+}
+
+// estimate returns the population's current EWMA, reporting ok=false
+// while no run of that shape has completed yet.
+func (l *latencyTracker) estimate(h int, algo khcore.Algorithm, approx bool) (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d, ok := l.est[latKey{h: h, algo: algo, approx: approx}]
+	return d, ok
+}
+
+// maybeDegrade downgrades an exact request to the approximate tier when
+// the latency EWMA says its deadline budget cannot cover an exact run,
+// mutating opts in place and reporting whether it did. Only
+// degrade=auto requests on the default algorithm are eligible (the
+// approximate tier exists only for h-LB+UB), and with no estimate yet
+// the server optimistically tries exact — the first request of a shape
+// is the one that seeds the tracker.
+func (s *server) maybeDegrade(ctx context.Context, opts *khcore.Options, policy degradePolicy) bool {
+	if policy == degradeNever || opts.Approx.Enabled || opts.Algorithm != khcore.HLBUB {
+		return false
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return false
+	}
+	est, ok := s.lat.estimate(opts.H, opts.Algorithm, false)
+	if !ok {
+		return false
+	}
+	// Degrade when the budget is under 1.5× the estimate: an exact run
+	// landing on its average would leave no headroom for variance, and a
+	// 504 delivers nothing at all — a bounded-error answer beats that.
+	if time.Until(deadline) >= est+est/2 {
+		return false
+	}
+	opts.Approx = khcore.ApproxOptions{Enabled: true}
+	return true
+}

@@ -4,8 +4,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 )
 
@@ -26,9 +29,24 @@ import (
 // GOMAXPROCS between the two dimensions (many small engines for
 // throughput under concurrent load, few wide engines for latency of
 // individual heavy queries).
+// Panic containment: a panic anywhere inside a pooled run — the engine's
+// own code, an h-BFS worker (re-raised on the publisher by hbfs.Pool), or
+// a caller-supplied callback — is recovered at the Decompose* boundary and
+// converted into an *EnginePanicError instead of crashing the process.
+// The panicking engine's scratch is presumed corrupt, so the engine is
+// quarantined (closed, never returned to the free channel) and its fleet
+// slot is rebuilt fresh from the graph on a background goroutine; the pool
+// serves at reduced capacity until the rebuild completes, then provably
+// returns to full Size() capacity. Rebuilding() exposes the in-flight
+// rebuild count for health surfaces and tests.
 type EnginePool struct {
-	g    *graph.Graph
-	free chan *Engine
+	g                *graph.Graph
+	workersPerEngine int
+	free             chan *Engine
+
+	// rebuilding counts quarantined engines whose replacement has not yet
+	// re-entered service. Size() - Rebuilding() is the serving capacity.
+	rebuilding atomic.Int32
 
 	mu      sync.Mutex
 	closed  bool
@@ -46,10 +64,16 @@ func NewEnginePool(g *graph.Graph, engines, workersPerEngine int) (*EnginePool, 
 	if engines <= 0 {
 		engines = runtime.NumCPU()
 	}
+	if workersPerEngine <= 0 {
+		// Resolve like NewEngine does, so WorkersPerEngine() reports the
+		// effective size and quarantine rebuilds reproduce it exactly.
+		workersPerEngine = runtime.NumCPU()
+	}
 	p := &EnginePool{
-		g:       g,
-		free:    make(chan *Engine, engines),
-		engines: make([]*Engine, engines),
+		g:                g,
+		workersPerEngine: workersPerEngine,
+		free:             make(chan *Engine, engines),
+		engines:          make([]*Engine, engines),
 	}
 	for i := range p.engines {
 		e := NewEngine(g, workersPerEngine)
@@ -65,11 +89,22 @@ func (p *EnginePool) Graph() *graph.Graph { return p.g }
 // Size returns the number of engines in the fleet.
 func (p *EnginePool) Size() int { return len(p.engines) }
 
+// WorkersPerEngine returns the resolved h-BFS worker-pool size of each
+// engine (the effective value, never the ≤ 0 "pick NumCPU" request).
+func (p *EnginePool) WorkersPerEngine() int { return p.workersPerEngine }
+
+// Rebuilding returns the number of quarantined engines currently being
+// rebuilt. While it is non-zero the pool serves at Size()-Rebuilding()
+// capacity; it returns to zero once every replacement engine has
+// re-entered the free list.
+func (p *EnginePool) Rebuilding() int { return int(p.rebuilding.Load()) }
+
 // Acquire checks an idle engine out of the pool, blocking while the whole
 // fleet is busy. It returns an ErrCanceled wrap when ctx is canceled
 // before an engine frees up, and an ErrPoolClosed wrap after Close. The
 // caller owns the engine until Release and must not retain it afterwards.
 func (p *EnginePool) Acquire(ctx context.Context) (*Engine, error) {
+	faultinject.Here(faultinject.PoolAcquire)
 	// Fast path: an idle engine is waiting — no select, no ctx poll.
 	select {
 	case e, ok := <-p.free:
@@ -116,10 +151,67 @@ func (p *EnginePool) Release(e *Engine) {
 	}
 }
 
+// poolRunHook, when non-nil, runs on the request goroutine between
+// Acquire and the engine run of every pooled decomposition. It exists so
+// the default (untagged) build can test the panic-quarantine path with a
+// deterministic panic; production code never sets it, so the hot path
+// pays one nil check.
+var poolRunHook func()
+
+// recovered converts a panic caught at a Decompose* boundary into the
+// serving contract's error shape. A non-nil engine was checked out when
+// the panic fired — its scratch is presumed corrupt, so it is quarantined
+// and its slot rebuilt; a nil engine means the panic preceded checkout
+// (nothing to quarantine).
+func (p *EnginePool) recovered(op string, e *Engine, r any) error {
+	if e != nil {
+		p.quarantine(e)
+	}
+	return &EnginePanicError{Op: op, Value: r, Stack: debug.Stack()}
+}
+
+// quarantine pulls a panicked engine out of service permanently and
+// starts the background rebuild of its fleet slot. The engine is closed
+// (its h-BFS helpers have already quiesced: hbfs.Pool re-raises worker
+// panics only after its WaitGroup join) and never touches the free
+// channel again; the replacement enters service through rebuild.
+func (p *EnginePool) quarantine(e *Engine) {
+	p.rebuilding.Add(1)
+	e.Close()
+	go p.rebuild(e)
+}
+
+// rebuild constructs a fresh engine from the pool's graph — full scratch
+// re-initialization, nothing inherited from the quarantined engine — and
+// swaps it into the retired engine's fleet slot. The free-channel send
+// and the closed check share the pool mutex with Close, so a rebuild
+// finishing during shutdown closes the fresh engine instead of sending
+// on a closed channel. The send itself cannot block: the quarantined
+// engine vacated exactly one slot of the free channel's Size() capacity.
+func (p *EnginePool) rebuild(old *Engine) {
+	fresh := NewEngine(p.g, p.workersPerEngine)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, e := range p.engines {
+		if e == old {
+			p.engines[i] = fresh
+			break
+		}
+	}
+	if p.closed {
+		fresh.Close()
+		p.rebuilding.Add(-1)
+		return
+	}
+	p.free <- fresh
+	p.rebuilding.Add(-1)
+}
+
 // Decompose acquires an engine, runs one decomposition and releases the
 // engine, returning a fresh Result. Safe for any number of concurrent
 // callers. The ctx governs both the wait for an idle engine and the run
-// itself.
+// itself. A panicking run returns an *EnginePanicError (wrapping
+// ErrEnginePanic) and quarantines the engine; see the type comment.
 func (p *EnginePool) Decompose(ctx context.Context, opts Options) (*Result, error) {
 	res := &Result{}
 	if err := p.DecomposeInto(ctx, res, opts); err != nil {
@@ -132,24 +224,45 @@ func (p *EnginePool) Decompose(ctx context.Context, opts Options) (*Result, erro
 // res.Core's backing array when its capacity suffices — with a res kept
 // per calling goroutine this is the zero-allocation steady state of the
 // serving path, matching Engine.DecomposeInto.
-func (p *EnginePool) DecomposeInto(ctx context.Context, res *Result, opts Options) error {
-	e, err := p.Acquire(ctx)
-	if err != nil {
+func (p *EnginePool) DecomposeInto(ctx context.Context, res *Result, opts Options) (err error) {
+	var e *Engine
+	defer func() {
+		if r := recover(); r != nil {
+			err = p.recovered("DecomposeInto", e, r)
+		}
+	}()
+	if e, err = p.Acquire(ctx); err != nil {
 		return err
 	}
-	defer p.Release(e)
-	return e.DecomposeIntoCtx(ctx, res, opts)
+	if h := poolRunHook; h != nil {
+		h()
+	}
+	err = e.DecomposeIntoCtx(ctx, res, opts)
+	p.Release(e)
+	e = nil // a later panic (there is none) must not quarantine a released engine
+	return err
 }
 
 // DecomposeSpectrum acquires an engine, computes the full h = 1..maxH
-// spectrum on it and releases it; see Engine.DecomposeSpectrumCtx.
-func (p *EnginePool) DecomposeSpectrum(ctx context.Context, maxH int, opts Options) (*Spectrum, error) {
-	e, err := p.Acquire(ctx)
-	if err != nil {
+// spectrum on it and releases it; see Engine.DecomposeSpectrumCtx. Panic
+// handling matches DecomposeInto.
+func (p *EnginePool) DecomposeSpectrum(ctx context.Context, maxH int, opts Options) (sp *Spectrum, err error) {
+	var e *Engine
+	defer func() {
+		if r := recover(); r != nil {
+			sp, err = nil, p.recovered("DecomposeSpectrum", e, r)
+		}
+	}()
+	if e, err = p.Acquire(ctx); err != nil {
 		return nil, err
 	}
-	defer p.Release(e)
-	return e.DecomposeSpectrumCtx(ctx, maxH, opts)
+	if h := poolRunHook; h != nil {
+		h()
+	}
+	sp, err = e.DecomposeSpectrumCtx(ctx, maxH, opts)
+	p.Release(e)
+	e = nil
+	return sp, err
 }
 
 // Close retires the fleet: idle engines are closed immediately, checked-out

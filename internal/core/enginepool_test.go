@@ -3,17 +3,21 @@ package core
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/gen"
+	"repro/internal/leakcheck"
 )
 
 // TestEnginePoolConcurrentLoad hammers a small fleet from many goroutines
 // and demands every result match the single-threaded reference — under
 // -race in CI this audits the checkout discipline and engine isolation.
 func TestEnginePoolConcurrentLoad(t *testing.T) {
+	leakcheck.Check(t)
 	g := gen.BarabasiAlbert(300, 3, 7)
 	want, err := Decompose(g, Options{H: 2, Workers: 1})
 	if err != nil {
@@ -56,6 +60,7 @@ func TestEnginePoolConcurrentLoad(t *testing.T) {
 // blocks while the fleet is checked out, honors ctx cancellation while
 // blocked, and hands out the engine once released.
 func TestEnginePoolAcquireBlocksAndCancels(t *testing.T) {
+	leakcheck.Check(t)
 	g := gen.ErdosRenyi(30, 60, 1)
 	pool, err := NewEnginePool(g, 1, 1)
 	if err != nil {
@@ -99,6 +104,7 @@ func TestEnginePoolAcquireBlocksAndCancels(t *testing.T) {
 // criterion: cancel a decomposition running through the pool, then demand
 // an uncanceled pool run produce results bit-identical to a fresh engine.
 func TestEnginePoolCancelMidRunThenReuse(t *testing.T) {
+	leakcheck.Check(t)
 	forceParallel(t)
 	g := gen.BarabasiAlbert(400, 3, 13)
 	want, err := Decompose(g, Options{H: 2, Workers: 1})
@@ -131,6 +137,7 @@ func TestEnginePoolCancelMidRunThenReuse(t *testing.T) {
 
 // TestEnginePoolClose pins the shutdown contract.
 func TestEnginePoolClose(t *testing.T) {
+	leakcheck.Check(t)
 	g := gen.ErdosRenyi(20, 40, 2)
 	pool, err := NewEnginePool(g, 2, 1)
 	if err != nil {
@@ -155,6 +162,7 @@ func TestEnginePoolClose(t *testing.T) {
 // property through the pool front-end: one warmed engine, a caller-owned
 // Result, and Background context must allocate nothing per query.
 func TestEnginePoolSteadyStateAllocs(t *testing.T) {
+	leakcheck.Check(t)
 	g := gen.BarabasiAlbert(150, 3, 21)
 	pool, err := NewEnginePool(g, 1, 1)
 	if err != nil {
@@ -177,5 +185,172 @@ func TestEnginePoolSteadyStateAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state pool decompose allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// armPanicOnce installs a poolRunHook that panics on exactly the first
+// pooled run, restoring the nil hook on test cleanup.
+func armPanicOnce(t *testing.T, value string) {
+	t.Helper()
+	var armed atomic.Bool
+	armed.Store(true)
+	poolRunHook = func() {
+		if armed.CompareAndSwap(true, false) {
+			panic(value)
+		}
+	}
+	t.Cleanup(func() { poolRunHook = nil })
+}
+
+// waitFullCapacity blocks until the pool has no rebuild in flight and
+// then proves full capacity constructively: Size() engines checked out
+// simultaneously, each within a short deadline.
+func waitFullCapacity(t *testing.T, pool *EnginePool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Rebuilding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rebuild never completed: Rebuilding()=%d", pool.Rebuilding())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	engines := make([]*Engine, 0, pool.Size())
+	for i := 0; i < pool.Size(); i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		e, err := pool.Acquire(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("capacity check: acquired %d of %d engines: %v", i, pool.Size(), err)
+		}
+		engines = append(engines, e)
+	}
+	for _, e := range engines {
+		pool.Release(e)
+	}
+}
+
+// TestEnginePoolPanicQuarantineAndRebuild is the tentpole's default-build
+// quarantine test: a panic mid-run must surface as an *EnginePanicError
+// (wrapping ErrEnginePanic) on the failing request only, quarantine the
+// engine, rebuild the slot in the background until capacity provably
+// returns to Size(), and leave post-recovery results bit-identical to an
+// untouched engine's.
+func TestEnginePoolPanicQuarantineAndRebuild(t *testing.T) {
+	leakcheck.Check(t)
+	g := gen.BarabasiAlbert(200, 3, 9)
+	want, err := Decompose(g, Options{H: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewEnginePool(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	armPanicOnce(t, "synthetic scratch corruption")
+
+	var res Result
+	err = pool.DecomposeInto(context.Background(), &res, Options{H: 2})
+	if !errors.Is(err, ErrEnginePanic) {
+		t.Fatalf("panicking run returned %v, want ErrEnginePanic wrap", err)
+	}
+	var pe *EnginePanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panicking run returned %T, want *EnginePanicError", err)
+	}
+	if pe.Op != "DecomposeInto" || pe.Value != "synthetic scratch corruption" || len(pe.Stack) == 0 {
+		t.Fatalf("EnginePanicError misreports its origin: %+v", pe)
+	}
+
+	waitFullCapacity(t, pool)
+
+	// Post-recovery runs across the whole fleet: every result must match
+	// the untouched reference bit for bit.
+	for i := 0; i < 2*pool.Size(); i++ {
+		got, err := pool.Decompose(context.Background(), Options{H: 2})
+		if err != nil {
+			t.Fatalf("post-recovery run %d: %v", i, err)
+		}
+		decomposeEqual(t, got.Core, want.Core, "post-recovery pool run")
+	}
+}
+
+// TestEnginePoolPanicSpectrum covers the DecomposeSpectrum boundary: same
+// quarantine contract, nil Spectrum alongside the typed error.
+func TestEnginePoolPanicSpectrum(t *testing.T) {
+	leakcheck.Check(t)
+	g := gen.ErdosRenyi(60, 150, 5)
+	pool, err := NewEnginePool(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	armPanicOnce(t, "spectrum corruption")
+
+	sp, err := pool.DecomposeSpectrum(context.Background(), 3, Options{})
+	if sp != nil || !errors.Is(err, ErrEnginePanic) {
+		t.Fatalf("spectrum panic: sp=%v err=%v", sp, err)
+	}
+	var pe *EnginePanicError
+	if !errors.As(err, &pe) || pe.Op != "DecomposeSpectrum" {
+		t.Fatalf("wrong panic origin: %v", err)
+	}
+	waitFullCapacity(t, pool)
+	if _, err := pool.DecomposeSpectrum(context.Background(), 3, Options{}); err != nil {
+		t.Fatalf("post-recovery spectrum: %v", err)
+	}
+}
+
+// TestEnginePoolQuarantineThenClose races the background rebuild against
+// Close: whichever order the mutex resolves, the rebuilt engine must not
+// leak (its workers retire) and Rebuilding must drain to zero.
+func TestEnginePoolQuarantineThenClose(t *testing.T) {
+	leakcheck.Check(t)
+	g := gen.ErdosRenyi(40, 80, 3)
+	pool, err := NewEnginePool(g, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armPanicOnce(t, "corruption at shutdown")
+	if err := pool.DecomposeInto(context.Background(), &Result{}, Options{H: 2}); !errors.Is(err, ErrEnginePanic) {
+		t.Fatalf("want ErrEnginePanic, got %v", err)
+	}
+	pool.Close() // may land before or after the rebuild's free-channel send
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Rebuilding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("rebuild did not drain after Close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := pool.Acquire(context.Background()); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("acquire after close: %v", err)
+	}
+}
+
+// TestEnginePoolResolvedSizes pins the resolved-configuration accessors
+// khserve surfaces in /healthz: ≤ 0 requests resolve to NumCPU, explicit
+// values pass through.
+func TestEnginePoolResolvedSizes(t *testing.T) {
+	leakcheck.Check(t)
+	g := gen.ErdosRenyi(10, 20, 4)
+	pool, err := NewEnginePool(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if got, want := pool.WorkersPerEngine(), runtime.NumCPU(); got != want {
+		t.Fatalf("WorkersPerEngine() = %d, want resolved NumCPU %d", got, want)
+	}
+	if pool.Rebuilding() != 0 {
+		t.Fatalf("fresh pool reports Rebuilding() = %d", pool.Rebuilding())
+	}
+	pool2, err := NewEnginePool(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	if pool2.Size() != 3 || pool2.WorkersPerEngine() != 2 {
+		t.Fatalf("explicit sizes mangled: engines=%d workers=%d", pool2.Size(), pool2.WorkersPerEngine())
 	}
 }

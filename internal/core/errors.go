@@ -47,7 +47,38 @@ var (
 	// cannot apply: inserting a present edge, deleting an absent one, or
 	// an out-of-range/self-loop endpoint pair.
 	ErrBadEdit = errors.New("khcore: bad edge edit")
+	// ErrEnginePanic is returned by the EnginePool conveniences when the
+	// engine serving the request panicked. The panicking engine's scratch
+	// is presumed corrupt: the pool quarantines it and rebuilds the slot
+	// in the background, so the request that observed the panic is the
+	// only one affected — retrying is safe. The concrete error is an
+	// *EnginePanicError carrying the panic value and stack.
+	ErrEnginePanic = errors.New("khcore: engine panicked")
 )
+
+// EnginePanicError is the concrete error behind ErrEnginePanic: one
+// recovered engine panic, converted into an error at the EnginePool
+// boundary so a serving process degrades by one request instead of
+// crashing. Value is the original panic value (fault-injection campaigns
+// identify their own panics through it); Stack is the goroutine stack at
+// the recovery point. For panics that originated on an h-BFS worker and
+// were re-raised on the publisher after quiescence, Stack shows where
+// the panic surfaced, not where it was thrown.
+type EnginePanicError struct {
+	// Op names the EnginePool entry point that observed the panic.
+	Op string
+	// Value is the original panic value.
+	Value any
+	// Stack is the stack at the recovery point (see type comment).
+	Stack []byte
+}
+
+func (e *EnginePanicError) Error() string {
+	return fmt.Sprintf("%v: %s: %v", ErrEnginePanic, e.Op, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrEnginePanic) hold.
+func (e *EnginePanicError) Unwrap() error { return ErrEnginePanic }
 
 // CanceledError wraps a context's cancellation cause so that the result
 // satisfies errors.Is against both ErrCanceled and the underlying

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/hbfs"
 	"repro/internal/vset"
@@ -299,6 +300,7 @@ func (s *partitionSolver) coreDecomp(kmin, kmax int) {
 	t := s.t
 	ops := 0
 	for k := start; k <= kmax; k++ {
+		faultinject.Here(faultinject.PeelRound)
 		for {
 			if ops++; ops&cancelCheckMask == 0 && s.cancel.stop() {
 				return // canceled mid-peel: the run is abandoned wholesale

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 )
 
@@ -186,6 +187,7 @@ func (e *Engine) powerPeelParallel(ub, ubdeg []int32, q *bucketQueue) {
 		// Serial re-bucket of the round's distinct touched vertices. The
 		// WaitGroup join inside Balls orders the workers' atomic
 		// decrements and stamp claims before these plain reads.
+		faultinject.Here(faultinject.UBRebucket)
 		for w := range e.ubTouched {
 			for _, u := range e.ubTouched[w] {
 				nk := int(ubdeg[u])

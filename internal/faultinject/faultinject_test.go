@@ -1,0 +1,60 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryWellFormed pins the site-name contract the faultsite
+// analyzer also enforces statically: dotted lowercase names, no
+// duplicates, and a non-empty registry (the chaos suite iterates it).
+func TestRegistryWellFormed(t *testing.T) {
+	sites := Sites()
+	if len(sites) == 0 {
+		t.Fatal("no registered sites")
+	}
+	seen := make(map[Site]bool)
+	for _, s := range sites {
+		if seen[s] {
+			t.Errorf("duplicate site %q", s)
+		}
+		seen[s] = true
+		if s == "" || strings.Count(string(s), ".") < 1 {
+			t.Errorf("site %q is not a dotted name", s)
+		}
+		if strings.ToLower(string(s)) != string(s) || strings.ContainsAny(string(s), " \t") {
+			t.Errorf("site %q is not lowercase or contains whitespace", s)
+		}
+	}
+}
+
+// TestSitesReturnsCopy keeps callers from mutating the registry.
+func TestSitesReturnsCopy(t *testing.T) {
+	a := Sites()
+	a[0] = "mutated.name"
+	if b := Sites(); b[0] == "mutated.name" {
+		t.Fatal("Sites() exposes the registry backing array")
+	}
+}
+
+// TestHereDisarmedIsInert holds in both builds: without an armed plan
+// (production always; test builds before Enable), Here must do nothing.
+func TestHereDisarmedIsInert(t *testing.T) {
+	for _, s := range Sites() {
+		Here(s) // must neither panic nor block
+	}
+}
+
+// TestHereAllocs pins the production contract the hot paths rely on:
+// a disarmed site costs zero allocations. (Under -tags faultinject the
+// armed-path cost is the chaos suite's concern, but the disarmed path
+// must stay free there too — engines run with injection compiled in but
+// no plan armed for most of the tagged test binary.)
+func TestHereAllocs(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		Here(PeelRound)
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed Here allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether this binary was built with fault injection
+// compiled in (`-tags faultinject`). Tests that need injection skip when
+// it is false; production builds never pay for the machinery.
+const Enabled = false
+
+// Here marks a registered fault-injection site. In the production build
+// it is an empty function with a constant argument: it inlines to
+// nothing and allocates nothing, so instrumented hot paths keep their
+// 0 allocs/op contract.
+func Here(Site) {}

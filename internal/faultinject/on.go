@@ -1,0 +1,181 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled reports whether this binary was built with fault injection
+// compiled in (`-tags faultinject`).
+const Enabled = true
+
+// Kind is the fault a site hit draws.
+type Kind uint8
+
+const (
+	// None passes through: the hit does nothing.
+	None Kind = iota
+	// PanicFault panics with an *Injected value (recover with IsInjected).
+	PanicFault
+	// DelayFault sleeps for the plan's Delay, perturbing schedules and
+	// tripping request deadlines.
+	DelayFault
+	// CancelFault invokes the plan's OnCancel hook (typically wired by a
+	// chaos test to cancel an in-flight request context).
+	CancelFault
+)
+
+// Plan configures one injection campaign. Rates are per-hit
+// probabilities evaluated in order panic → delay → cancel from a single
+// uniform draw, so PanicRate+DelayRate+CancelRate must stay ≤ 1. The
+// decision for the Nth hit of a site depends only on (Seed, site, N):
+// re-running with the same seed replays the same fault sequence per
+// site, regardless of scheduling (which goroutine takes hit N may vary,
+// but the sequence of faults a site emits does not).
+type Plan struct {
+	// Seed drives every decision; 0 is a valid seed.
+	Seed uint64
+	// PanicRate, DelayRate, CancelRate are per-hit fault probabilities.
+	PanicRate  float64
+	DelayRate  float64
+	CancelRate float64
+	// Delay is the sleep of a DelayFault (0 selects 100µs).
+	Delay time.Duration
+	// OnCancel handles CancelFault hits. nil downgrades them to None.
+	// Called on whichever goroutine hit the site; must be safe for
+	// concurrent use.
+	OnCancel func()
+	// Sites restricts injection to the listed sites. nil arms every
+	// registered site.
+	Sites []Site
+}
+
+// state is the armed campaign: the plan plus one hit counter per
+// registered site. It is published wholesale through an atomic pointer,
+// so Here is race-free against Enable/Disable and the per-site counter
+// map is immutable after construction.
+type state struct {
+	plan  Plan
+	armed map[Site]bool // nil = all
+	hits  map[Site]*atomic.Uint64
+}
+
+var active atomic.Pointer[state]
+
+// Enable arms the plan for every subsequent Here hit, resetting all hit
+// counters. Concurrent Here calls observe the switch atomically.
+func Enable(p Plan) {
+	if p.Delay == 0 {
+		p.Delay = 100 * time.Microsecond
+	}
+	st := &state{plan: p, hits: make(map[Site]*atomic.Uint64, len(registry))}
+	for _, s := range registry {
+		st.hits[s] = new(atomic.Uint64)
+	}
+	if p.Sites != nil {
+		st.armed = make(map[Site]bool, len(p.Sites))
+		for _, s := range p.Sites {
+			st.armed[s] = true
+		}
+	}
+	active.Store(st)
+}
+
+// Disable disarms injection; subsequent Here hits do nothing.
+func Disable() { active.Store(nil) }
+
+// Hits returns how many times each registered site has fired under the
+// currently armed plan (zeroes when disarmed) — the chaos suite's
+// coverage assertion that every site was actually exercised.
+func Hits() map[Site]uint64 {
+	out := make(map[Site]uint64, len(registry))
+	st := active.Load()
+	for _, s := range registry {
+		if st != nil {
+			out[s] = st.hits[s].Load()
+		} else {
+			out[s] = 0
+		}
+	}
+	return out
+}
+
+// Injected is the panic value of a PanicFault, carrying the site and hit
+// index that drew it so a failure names its exact reproduction point.
+type Injected struct {
+	Site Site
+	Hit  uint64
+}
+
+func (i *Injected) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (hit %d)", i.Site, i.Hit)
+}
+
+// IsInjected reports whether a recovered panic value came from a
+// PanicFault — the quarantine tests use it to tell injected panics from
+// real bugs surfacing under chaos.
+func IsInjected(r any) bool {
+	_, ok := r.(*Injected)
+	return ok
+}
+
+// Here marks a registered fault-injection site: under an armed plan it
+// draws the site's next fault and applies it (panic, sleep, or the
+// cancellation hook). Unarmed, it costs one atomic load.
+func Here(site Site) {
+	st := active.Load()
+	if st == nil {
+		return
+	}
+	if st.armed != nil && !st.armed[site] {
+		return
+	}
+	ctr := st.hits[site]
+	if ctr == nil {
+		return // unregistered site: nothing to draw from (faultsite lint forbids this)
+	}
+	hit := ctr.Add(1)
+	u := uniform(st.plan.Seed, site, hit)
+	switch {
+	case u < st.plan.PanicRate:
+		panic(&Injected{Site: site, Hit: hit})
+	case u < st.plan.PanicRate+st.plan.DelayRate:
+		time.Sleep(st.plan.Delay)
+	case u < st.plan.PanicRate+st.plan.DelayRate+st.plan.CancelRate:
+		if fn := st.plan.OnCancel; fn != nil {
+			fn()
+		}
+	}
+}
+
+// uniform maps (seed, site, hit) onto [0, 1) through splitmix64 — the
+// same generator the sampled h-BFS kernels use for their per-vertex
+// streams, giving the chaos suite the same determinism guarantee: the
+// draw depends on nothing but its inputs.
+func uniform(seed uint64, site Site, hit uint64) float64 {
+	x := seed ^ hashSite(site)
+	x = splitmix64(x + hit*0x9e3779b97f4a7c15)
+	return float64(x>>11) / (1 << 53)
+}
+
+// hashSite is FNV-1a over the site name, folding the site identity into
+// the stream seed.
+func hashSite(s Site) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix64 is the finalizer of Steele et al.'s SplitMix64.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

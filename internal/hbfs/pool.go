@@ -15,9 +15,11 @@ package hbfs
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/vset"
 )
@@ -95,6 +97,16 @@ type poolShared struct {
 	evaluated atomic.Int64
 	wg        sync.WaitGroup
 
+	// panicked holds the first panic captured from any participant of the
+	// current batch / Run job / Balls fan-out. Helpers cannot let a panic
+	// escape (it would kill the process, not the request), so every
+	// participant — worker 0's inline drain included — runs under capture,
+	// and the publisher re-panics on its own goroutine after the WaitGroup
+	// join. That ordering guarantees the pool's workers have quiesced
+	// before the panic unwinds into the engine's caller, where EnginePool
+	// converts it into ErrEnginePanic and quarantines the engine.
+	panicked atomic.Pointer[capturedPanic]
+
 	// wake carries worker indices 1..workers-1. Addressing the wake-ups by
 	// index (rather than an anonymous token) is what enforces the
 	// once-per-worker contract of Run and the batch fan-out: a helper that
@@ -104,6 +116,34 @@ type poolShared struct {
 	quit    chan struct{}
 	spawned bool
 	closed  bool
+}
+
+// capturedPanic preserves a helper's panic value (and its stack, for
+// operators digging through an ErrEnginePanic report) across the hop back
+// to the publishing goroutine.
+type capturedPanic struct {
+	val   any
+	stack []byte
+}
+
+// capture is deferred by every batch participant; it parks the first
+// panic of the job in s.panicked instead of letting it kill the process.
+// Later panics of the same job lose the CAS and are dropped — one
+// representative failure is enough to quarantine the engine.
+func (s *poolShared) capture() {
+	if r := recover(); r != nil {
+		s.panicked.CompareAndSwap(nil, &capturedPanic{val: r, stack: debug.Stack()})
+	}
+}
+
+// rethrow re-raises a captured panic on the publisher's goroutine. It
+// runs only after wg.Wait and the shared-state clear, so by the time the
+// panic unwinds into the caller every worker is parked again and the
+// pool itself is reusable — only the owning engine's scratch is suspect.
+func (s *poolShared) rethrow() {
+	if cp := s.panicked.Swap(nil); cp != nil {
+		panic(cp.val)
+	}
 }
 
 // NewPool creates a pool of the given size for graph g. workers ≤ 0 selects
@@ -202,17 +242,27 @@ func helperLoop(s *poolShared) {
 		case <-s.quit:
 			return
 		case w := <-s.wake:
-			t := s.travs[w]
-			switch {
-			case s.job != nil:
-				s.job(w, t)
-			case s.ballFn != nil:
-				s.runBalls(w, t)
-			default:
-				s.run(t)
-			}
-			s.wg.Done()
+			s.work(w)
 		}
+	}
+}
+
+// work runs one woken worker's share of the published job under the
+// panic-capture guard. The deferred pair runs LIFO: capture first (so
+// the panic is parked before the publisher can observe quiescence), then
+// wg.Done — a panicking worker still counts as finished, which is what
+// lets the publisher's wg.Wait/rethrow sequence terminate.
+func (s *poolShared) work(w int) {
+	defer s.wg.Done()
+	defer s.capture()
+	t := s.travs[w]
+	switch {
+	case s.job != nil:
+		s.job(w, t)
+	case s.ballFn != nil:
+		s.runBalls(w, t)
+	default:
+		s.run(t)
 	}
 }
 
@@ -226,6 +276,7 @@ func (s *poolShared) run(t *Traversal) {
 		if s.cancelFn != nil && s.cancelFn() {
 			break
 		}
+		faultinject.Here(faultinject.BatchChunk)
 		start := s.cursor.Add(chunk) - chunk
 		if start >= n {
 			break
@@ -276,8 +327,11 @@ func (p *Pool) Balls(verts []int32, h int, alive *vset.Set, fn BallFunc) {
 	if s.workers == 1 || s.closed || len(verts) < s.batchMin {
 		t := s.travs[0]
 		for i, v := range verts {
-			if int64(i)%s.batchChunk == 0 && s.cancelFn != nil && s.cancelFn() {
-				break
+			if int64(i)%s.batchChunk == 0 {
+				if s.cancelFn != nil && s.cancelFn() {
+					break
+				}
+				faultinject.Here(faultinject.BatchChunk)
 			}
 			ball, shell := t.Ball(int(v), h, alive)
 			fn(0, v, ball, shell)
@@ -292,9 +346,18 @@ func (p *Pool) Balls(verts []int32, h int, alive *vset.Set, fn BallFunc) {
 	for i := 1; i <= helpers; i++ {
 		s.wake <- i
 	}
-	s.runBalls(0, s.travs[0])
+	s.runBallsCaptured(0, s.travs[0])
 	s.wg.Wait()
 	s.verts, s.alive, s.ballFn = nil, nil, nil
+	s.rethrow()
+}
+
+// runBallsCaptured is worker 0's drain: identical to the helpers' except
+// the capture guard parks a panic for rethrow instead of letting it skip
+// the wg.Wait below (which would leave helpers racing cleared state).
+func (s *poolShared) runBallsCaptured(worker int, t *Traversal) {
+	defer s.capture()
+	s.runBalls(worker, t)
 }
 
 // runBalls drains ball chunks via the atomic cursor until the batch is
@@ -307,6 +370,7 @@ func (s *poolShared) runBalls(worker int, t *Traversal) {
 		if s.cancelFn != nil && s.cancelFn() {
 			break
 		}
+		faultinject.Here(faultinject.BatchChunk)
 		start := s.cursor.Add(chunk) - chunk
 		if start >= n {
 			break
@@ -387,9 +451,17 @@ func (p *Pool) Run(fn func(worker int, t *Traversal)) {
 	for i := 1; i <= helpers; i++ {
 		s.wake <- i
 	}
-	fn(0, s.travs[0])
+	s.jobCaptured(0, s.travs[0])
 	s.wg.Wait()
 	s.job = nil
+	s.rethrow()
+}
+
+// jobCaptured runs worker 0's share of a Run job under the capture
+// guard, mirroring runBallsCaptured.
+func (s *poolShared) jobCaptured(w int, t *Traversal) {
+	defer s.capture()
+	s.job(w, t)
 }
 
 // HDegrees computes deg^h_{G[alive]}(v) for every vertex in verts, writing
@@ -440,8 +512,11 @@ func (p *Pool) batch(verts []int32, h int, alive *vset.Set, out []int32, cap int
 		t := s.travs[0]
 		var evaluated int64
 		for i, v := range verts {
-			if int64(i)%s.batchChunk == 0 && s.cancelFn != nil && s.cancelFn() {
-				break
+			if int64(i)%s.batchChunk == 0 {
+				if s.cancelFn != nil && s.cancelFn() {
+					break
+				}
+				faultinject.Here(faultinject.BatchChunk)
 			}
 			if alive == nil || alive.Contains(int(v)) {
 				evaluated++
@@ -466,10 +541,19 @@ func (p *Pool) batch(verts []int32, h int, alive *vset.Set, out []int32, cap int
 	for i := 1; i <= helpers; i++ {
 		s.wake <- i
 	}
-	s.run(s.travs[0])
+	s.runCaptured(s.travs[0])
 	s.wg.Wait()
 	s.verts, s.alive, s.out = nil, nil, nil
-	return s.evaluated.Load()
+	evaluated := s.evaluated.Load()
+	s.rethrow()
+	return evaluated
+}
+
+// runCaptured is worker 0's h-degree drain under the capture guard,
+// mirroring runBallsCaptured.
+func (s *poolShared) runCaptured(t *Traversal) {
+	defer s.capture()
+	s.run(t)
 }
 
 // HDegreesAll computes the h-degree of every vertex of the graph (alive

@@ -1,0 +1,158 @@
+// Package leakcheck is a zero-dependency goroutine leak detector for
+// tests. Check snapshots the live goroutines at registration and, via
+// t.Cleanup, verifies that no test-spawned goroutine outlives the test.
+//
+// The detector is deliberately simple: it diffs goroutine *identities*
+// (the numeric ids in runtime.Stack headers) rather than counting, so a
+// goroutine that exits while an unrelated one starts cannot mask a leak.
+// Goroutines that legitimately outlive a test — the runtime's own
+// (GC workers, finalizer), the testing framework, and net/http's
+// background pieces that persist process-wide — are filtered by stack
+// content. Shutdown is asynchronous in places (parked h-BFS helpers
+// drain on a quit channel; http.Server connections close after Shutdown
+// returns), so the check retries until a deadline before declaring a
+// leak.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TB is the subset of *testing.T the checker needs; the indirection
+// keeps the package free of a testing import in its API and lets the
+// self-tests drive failures through a fake.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// ignoredStacks marks goroutines that may outlive any individual test:
+// runtime housekeeping, the testing harness itself, and process-wide
+// singletons the standard library starts lazily and never stops.
+var ignoredStacks = []string{
+	"testing.(*T).Run",              // the test runner's own goroutines
+	"testing.(*M).startAlarm",       // -timeout watchdog
+	"testing.runTests",              // top-level driver
+	"runtime.goexit0",               // exiting, not leaked
+	"runtime.gc",                    // GC workers
+	"runtime.bgsweep",               // GC background sweep
+	"runtime.bgscavenge",            // heap scavenger
+	"runtime.forcegchelper",         // periodic GC trigger
+	"runtime.runfinq",               // finalizer goroutine
+	"runtime.ReadTrace",             // execution tracer
+	"net/http.(*persistConn)",       // keep-alive conns owned by the shared transport
+	"net/http.(*Transport)",         // idle-connection janitor
+	"internal/singleflight",         // DNS lookups in flight process-wide
+	"os/signal.signal_recv",         // signal delivery singleton
+	"os/signal.loop",                // signal.Notify dispatcher
+	"runtime/pprof.profileWriter",   // active CPU profile
+	"runtime.(*wakeableSleep).init", // execution tracer's sleeper
+}
+
+// retryFor bounds how long the cleanup keeps re-polling for asynchronous
+// teardown before declaring a leak. Variable only so the self-tests can
+// fail fast.
+var retryFor = 2 * time.Second
+
+// Check registers a goroutine-leak assertion on t: every goroutine alive
+// when the test (and its other cleanups) finish must either have existed
+// at the Check call or match the ignore list. Register it FIRST in the
+// test, before the resources whose teardown the test also registers via
+// t.Cleanup — cleanups run last-in-first-out, so the leak check then
+// runs after every teardown it is meant to audit.
+func Check(t TB) {
+	t.Helper()
+	baseline := liveGoroutines()
+	t.Cleanup(func() {
+		t.Helper()
+		deadline := time.Now().Add(retryFor)
+		var leaked []goroutineStack
+		for {
+			leaked = leaked[:0]
+			for _, g := range liveGoroutines() {
+				if _, ok := baseline[g.id]; ok {
+					continue
+				}
+				if g.ignorable() {
+					continue
+				}
+				leaked = append(leaked, g)
+			}
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			// Asynchronous teardown (parked pool helpers, closing
+			// connections) needs a moment; poll, don't fail eagerly.
+			time.Sleep(10 * time.Millisecond)
+		}
+		var sb strings.Builder
+		for _, g := range leaked {
+			fmt.Fprintf(&sb, "\n--- leaked goroutine %d ---\n%s", g.id, g.stack)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked by this test:%s", len(leaked), sb.String())
+	})
+}
+
+// goroutineStack is one parsed entry of a full runtime.Stack dump.
+type goroutineStack struct {
+	id    int64
+	stack string
+}
+
+func (g goroutineStack) ignorable() bool {
+	for _, pat := range ignoredStacks {
+		if strings.Contains(g.stack, pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// liveGoroutines captures and parses the all-goroutine stack dump into
+// per-goroutine records keyed by id.
+func liveGoroutines() map[int64]goroutineStack {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := make(map[int64]goroutineStack)
+	for _, block := range strings.Split(string(buf), "\n\n") {
+		g, ok := parseGoroutine(block)
+		if !ok {
+			continue
+		}
+		out[g.id] = g
+	}
+	return out
+}
+
+// parseGoroutine extracts the id from a "goroutine N [state]:" header.
+func parseGoroutine(block string) (goroutineStack, bool) {
+	const prefix = "goroutine "
+	if !strings.HasPrefix(block, prefix) {
+		return goroutineStack{}, false
+	}
+	rest := block[len(prefix):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return goroutineStack{}, false
+	}
+	id, err := strconv.ParseInt(rest[:sp], 10, 64)
+	if err != nil {
+		return goroutineStack{}, false
+	}
+	return goroutineStack{id: id, stack: block}, true
+}

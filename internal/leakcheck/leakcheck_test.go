@@ -1,0 +1,101 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB records Errorf calls and runs cleanups on demand, standing in
+// for *testing.T so the self-tests can observe a deliberate failure.
+type fakeTB struct {
+	errors   []string
+	cleanups []func()
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, format)
+}
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+// TestNoLeakPasses: a test that spawns nothing new must pass the check.
+func TestNoLeakPasses(t *testing.T) {
+	f := &fakeTB{}
+	Check(f)
+	f.runCleanups()
+	if len(f.errors) != 0 {
+		t.Fatalf("clean test reported a leak: %v", f.errors)
+	}
+}
+
+// TestTransientGoroutinePasses: a goroutine that exits before the
+// retry deadline must not be reported — teardown is asynchronous.
+func TestTransientGoroutinePasses(t *testing.T) {
+	f := &fakeTB{}
+	Check(f)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	f.runCleanups() // retries until the goroutine exits
+	<-done
+	if len(f.errors) != 0 {
+		t.Fatalf("transient goroutine reported as leak: %v", f.errors)
+	}
+}
+
+// TestLeakDetected: a goroutine parked past the deadline must fail the
+// check. The block channel is buffered and signaled afterwards so the
+// "leak" doesn't actually outlive the whole test binary.
+func TestLeakDetected(t *testing.T) {
+	old := retryFor
+	retryFor = 50 * time.Millisecond
+	defer func() { retryFor = old }()
+	f := &fakeTB{}
+	Check(f)
+	block := make(chan struct{})
+	go func() { <-block }()
+	f.runCleanups()
+	close(block)
+	if len(f.errors) == 0 {
+		t.Fatal("parked goroutine not reported as a leak")
+	}
+	if !strings.Contains(f.errors[0], "leaked") {
+		t.Fatalf("unexpected error text: %q", f.errors[0])
+	}
+}
+
+// TestBaselineGoroutineIgnored: goroutines alive before Check must never
+// be reported, even if they persist forever.
+func TestBaselineGoroutineIgnored(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	go func() { <-block }() // pre-existing relative to Check below
+	f := &fakeTB{}
+	Check(f)
+	f.runCleanups()
+	if len(f.errors) != 0 {
+		t.Fatalf("baseline goroutine reported as leak: %v", f.errors)
+	}
+}
+
+// TestParseGoroutine pins the stack-header parser against the runtime's
+// actual dump format.
+func TestParseGoroutine(t *testing.T) {
+	live := liveGoroutines()
+	if len(live) == 0 {
+		t.Fatal("parsed zero goroutines from a live dump")
+	}
+	for id, g := range live {
+		if id != g.id || !strings.HasPrefix(g.stack, "goroutine ") {
+			t.Fatalf("malformed parse: id=%d stack=%q", id, g.stack[:40])
+		}
+	}
+}

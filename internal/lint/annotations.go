@@ -30,6 +30,7 @@ import (
 //	//khcore:atomic-ok <reason>  suppress one atomicfield diagnostic
 //	//khcore:err-ok <reason>     suppress one typederr diagnostic
 //	//khcore:vset-ok <reason>    suppress one vsetepoch diagnostic
+//	//khcore:fault-ok <reason>   suppress one faultsite diagnostic
 
 // markerHotPath, markerPeel and markerCallerEpoch are the function-level
 // markers; suppressKinds the site-suppression families.
@@ -45,6 +46,7 @@ var suppressKinds = map[string]bool{
 	"atomic": true,
 	"err":    true,
 	"vset":   true,
+	"fault":  true,
 }
 
 // annotation is one parsed //khcore: directive.

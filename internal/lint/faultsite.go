@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// FaultSite keeps the fault-injection surface closed and enumerable. The
+// chaos suite's coverage guarantee — "every registered site fired" — is
+// only as strong as the registry, so two rules are machine-enforced:
+//
+//  1. Every faultinject.Here argument must be a Site constant declared in
+//     the faultinject package itself. A converted string, a Sprintf-built
+//     name or a constant declared elsewhere would create an anonymous
+//     site the registry (and therefore the chaos coverage assertion and
+//     the armed-plan hit counters) cannot see.
+//  2. The declaring package's registry must be exhaustive and
+//     well-formed: every declared Site constant listed exactly once, no
+//     duplicate names, and every name dotted lowercase
+//     ("subsystem.seam"), so Sites() is provably the complete site list.
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc: "require faultinject.Here arguments to be registered Site " +
+		"constants and the faultinject registry to list every declared " +
+		"site exactly once under a dotted lowercase name",
+	Run: runFaultSite,
+}
+
+// siteNameRe is the registered-site grammar: at least two dotted
+// lowercase segments, naming the subsystem and the seam.
+var siteNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*)+$`)
+
+func runFaultSite(pass *Pass) error {
+	checkHereCalls(pass)
+	checkSiteRegistry(pass)
+	return nil
+}
+
+// checkHereCalls enforces rule 1 at every faultinject.Here call site of
+// the package under analysis.
+func checkHereCalls(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Name() != "Here" || !isFaultinjectPkg(fn.Pkg()) {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true // does not type-check; the compiler reports it
+			}
+			obj := declaredConstOf(info, call.Args[0])
+			c, isConst := obj.(*types.Const)
+			switch {
+			case !isConst:
+				pass.Reportf("fault", call.Args[0].Pos(),
+					"faultinject.Here argument must be a Site constant declared in the faultinject package, not a computed value")
+			case c.Pkg() == nil || c.Pkg() != fn.Pkg():
+				pass.Reportf("fault", call.Args[0].Pos(),
+					"faultinject.Here argument %s is declared outside the faultinject package: sites must live next to the registry", c.Name())
+			}
+			return true
+		})
+	}
+}
+
+// declaredConstOf resolves an expression to the constant object it
+// names, or nil when the expression is anything but a direct reference
+// (a conversion, a call, a variable).
+func declaredConstOf(info *types.Info, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	case *ast.ParenExpr:
+		return declaredConstOf(info, x.X)
+	}
+	return nil
+}
+
+func isFaultinjectPkg(pkg *types.Package) bool {
+	return pkg != nil && strings.HasSuffix(pkg.Path(), "internal/faultinject")
+}
+
+// checkSiteRegistry enforces rule 2 on any package that declares the
+// Site/registry pair (the real faultinject package, and the analyzer's
+// fixture mirroring its shape).
+func checkSiteRegistry(pass *Pass) {
+	scope := pass.Pkg.Types.Scope()
+	siteType, ok := scope.Lookup("Site").(*types.TypeName)
+	if !ok {
+		return
+	}
+	if basic, isBasic := siteType.Type().Underlying().(*types.Basic); !isBasic || basic.Kind() != types.String {
+		return
+	}
+	if _, isVar := scope.Lookup("registry").(*types.Var); !isVar {
+		return
+	}
+
+	// Every package-level constant of type Site, with its declaration
+	// position for reporting.
+	siteConsts := map[types.Object]ast.Expr{} // const object → declaring ident (for Pos)
+	byName := map[string]types.Object{}       // site string → first constant carrying it
+	registered := map[types.Object]int{}      // const object → times listed in registry
+
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.Pkg.TypesInfo.Defs[name]
+					c, ok := obj.(*types.Const)
+					if !ok || !types.Identical(c.Type(), siteType.Type()) {
+						continue
+					}
+					siteConsts[c] = name
+					val := constant.StringVal(c.Val())
+					if !siteNameRe.MatchString(val) {
+						pass.Reportf("fault", name.Pos(),
+							"site %s = %q is not a dotted lowercase name (want \"subsystem.seam\")", c.Name(), val)
+					}
+					if prev, dup := byName[val]; dup {
+						pass.Reportf("fault", name.Pos(),
+							"site %s duplicates the name %q already held by %s", c.Name(), val, prev.Name())
+					} else {
+						byName[val] = c
+					}
+				}
+				if len(vs.Names) == 1 && vs.Names[0].Name == "registry" && len(vs.Values) == 1 {
+					collectRegistryEntries(pass, vs.Values[0], registered)
+				}
+			}
+		}
+	}
+
+	for c, ident := range siteConsts {
+		switch registered[c] {
+		case 0:
+			pass.Reportf("fault", ident.Pos(),
+				"site %s is missing from the registry: Sites() would under-report and the chaos coverage check cannot see it", c.Name())
+		case 1:
+			// exactly once: the invariant
+		default:
+			pass.Reportf("fault", ident.Pos(),
+				"site %s is listed %d times in the registry", c.Name(), registered[c])
+		}
+	}
+}
+
+// collectRegistryEntries tallies which constants the registry composite
+// literal lists, reporting elements that are not direct references to
+// declared constants (an inline conversion in the registry would bypass
+// the one-constant-per-site discipline).
+func collectRegistryEntries(pass *Pass, value ast.Expr, registered map[types.Object]int) {
+	lit, ok := value.(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		obj := declaredConstOf(pass.Pkg.TypesInfo, elt)
+		if _, isConst := obj.(*types.Const); !isConst {
+			pass.Reportf("fault", elt.Pos(),
+				"registry entry is not a declared Site constant")
+			continue
+		}
+		registered[obj]++
+	}
+}

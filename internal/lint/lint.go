@@ -80,6 +80,7 @@ func Analyzers() []*Analyzer {
 		AtomicField,
 		TypedErr,
 		VsetEpoch,
+		FaultSite,
 		KHDirective,
 	}
 }

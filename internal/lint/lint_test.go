@@ -42,6 +42,10 @@ func TestVsetEpoch(t *testing.T) {
 	linttest.Run(t, moduleDir(t), fixture("vsetepoch"), lint.VsetEpoch)
 }
 
+func TestFaultSite(t *testing.T) {
+	linttest.Run(t, moduleDir(t), fixture("faultsite"), lint.FaultSite)
+}
+
 // TestKHDirective asserts explicitly instead of using want comments:
 // its diagnostics point AT //khcore: comments, and a // want marker
 // cannot share a line with the line comment it would describe.

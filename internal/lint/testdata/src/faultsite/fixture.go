@@ -1,0 +1,47 @@
+// Fixture for the faultsite analyzer: misused faultinject.Here call
+// sites, plus a local Site/registry pair mirroring the faultinject
+// package's shape to exercise the registry rules.
+package faultsite
+
+import (
+	"fmt"
+
+	"repro/internal/faultinject"
+)
+
+// localSite is declared outside the faultinject package: even with the
+// right type, Here must reject it — the registry cannot see it.
+const localSite faultinject.Site = "local.site"
+
+func calls(name string) {
+	faultinject.Here(faultinject.PoolAcquire)                       // ok: registered constant
+	faultinject.Here((faultinject.BatchChunk))                      // ok: parenthesized constant
+	faultinject.Here(faultinject.Site("ad.hoc"))                    // want "must be a Site constant"
+	faultinject.Here(faultinject.Site(fmt.Sprintf("dyn.%s", name))) // want "must be a Site constant"
+	faultinject.Here(localSite)                                     // want "declared outside the faultinject package"
+	var v faultinject.Site
+	faultinject.Here(v)                                 // want "must be a Site constant"
+	faultinject.Here(faultinject.Site("ok.suppressed")) //khcore:fault-ok fixture: prove the suppression family works
+	_ = v
+}
+
+// The registry mirror: the analyzer applies the registry rules to any
+// package declaring this Site/registry shape.
+type Site string
+
+const (
+	good      Site = "pkg.good"
+	unlisted  Site = "pkg.unlisted" // want "missing from the registry"
+	badName   Site = "NotDotted"    // want "not a dotted lowercase name"
+	duplicate Site = "pkg.good"     // want "duplicates the name"
+	twice     Site = "pkg.twice"    // want "listed 2 times"
+)
+
+var registry = []Site{
+	good,
+	badName,
+	duplicate,
+	twice,
+	twice,
+	Site("inline.entry"), // want "not a declared Site constant"
+}

@@ -1,7 +1,15 @@
 // Fixture for the hotpathalloc analyzer: seeded allocating constructs in
 // //khcore:hotpath functions, plus the idioms that must stay silent —
-// receiver-owned appends, reslice aliases, annotated amortized growth.
+// receiver-owned appends, reslice aliases, annotated amortized growth,
+// and correctly-used fault-injection sites (whose production build must
+// stay allocation-free on hot paths).
 package hotpathalloc
+
+import (
+	"fmt"
+
+	"repro/internal/faultinject"
+)
 
 type ring struct {
 	buf []int32
@@ -37,6 +45,17 @@ func (r *ring) grow(n int) {
 		r.buf = make([]int32, n) //khcore:alloc-ok amortized growth; steady state reuses capacity
 	}
 	r.buf = r.buf[:n]
+}
+
+// instrumented pins the fault-injection contract: a registered constant
+// site compiles to nothing in the production build (Here is an empty
+// function — no boxing, its parameter is a string type), while a
+// Sprintf-built site name allocates on every pass and must be a finding.
+//
+//khcore:hotpath
+func (r *ring) instrumented(v int32) {
+	faultinject.Here(faultinject.BatchChunk)                      // ok: constant site, allocation-free
+	faultinject.Here(faultinject.Site(fmt.Sprintf("ring.%d", v))) // want "boxes int32 into interface"
 }
 
 func setup(n int) func() {

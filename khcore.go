@@ -55,7 +55,15 @@ var (
 	ErrCanceled         = core.ErrCanceled
 	ErrPoolClosed       = core.ErrPoolClosed
 	ErrInvalidApprox    = core.ErrInvalidApprox
+	ErrEnginePanic      = core.ErrEnginePanic
 )
+
+// EnginePanicError is the concrete error behind ErrEnginePanic: a panic
+// recovered at the EnginePool boundary, carrying the entry point, the
+// panic value and the stack at the recovery point. The panicking engine
+// is quarantined and its fleet slot rebuilt in the background, so the
+// failing request is the only one affected — retrying is safe.
+type EnginePanicError = core.EnginePanicError
 
 // Graph is an immutable undirected, unweighted graph in compressed
 // sparse-row form. Construct with NewBuilder, FromEdges or ReadEdgeList.
