@@ -17,7 +17,7 @@ COUNT ?= 6
 # and recorded in the JSON output.
 DATASET ?=
 
-.PHONY: build test lint race race-parallel race-approx chaos bench bench-parallel bench-sampling bench-smoke
+.PHONY: build test lint race race-parallel race-approx race-incr chaos bench bench-parallel bench-sampling bench-incr bench-smoke
 
 # Chaos campaign seed; CI runs a matrix of seeds. A failing run names its
 # seed — replay it here with KHCORE_CHAOS_SEED=<seed> make chaos.
@@ -57,6 +57,14 @@ race-parallel:
 # a GOMAXPROCS matrix by CI.
 race-approx:
 	go test -race -run 'TestApprox|TestSampled|TestPoolSampled' ./internal/core/ ./internal/hbfs/ .
+
+# race-incr is the CI smoke of the incremental-maintenance subsystem:
+# the differential edit-stream property suite (bit-identical to
+# from-scratch after every batch), the typed-edit and cancellation
+# contracts, the CSR splice differential and the /mutate serving surface,
+# all under the race detector — repeated across a GOMAXPROCS matrix by CI.
+race-incr:
+	go test -race -run 'TestIncr|TestMaintainer|TestSplice|TestMutate' ./internal/core/ ./internal/graph/ ./cmd/khserve/ .
 
 # chaos builds the module with the fault-injection sites compiled in and
 # storms the engine pool and the serving daemon with seeded panics,
@@ -104,6 +112,19 @@ bench-sampling:
 		-note "BenchmarkApproxDecompose: one warm single-worker engine, exact baseline + eps sweep, fixed seed 1" \
 		current=bench_sampling.txt
 	@echo wrote BENCH_sampling.json
+
+# bench-incr records the amortized cost of incremental maintenance into
+# BENCH_incr.json: per bench graph, a mode=repair sub-benchmark (localized
+# repair, with region-size distribution, localized fraction and edits/sec
+# as custom metrics) against a mode=rerun baseline (warm full
+# re-decomposition per edit). benchjson's incr section computes the
+# amortized speedup per graph.
+bench-incr:
+	go test -run '^$$' -bench 'BenchmarkIncrMaintain$$' -benchmem -count $(COUNT) . | tee bench_incr.txt
+	go run ./cmd/benchjson -o BENCH_incr.json \
+		-note "BenchmarkIncrMaintain: single-edge toggle stream, h=2, caveman graphs (disjoint dense blocks + ring bridges), repair vs rerun-per-edit" \
+		current=bench_incr.txt
+	@echo wrote BENCH_incr.json
 
 # bench-smoke compiles and runs every benchmark in the module for exactly
 # one iteration — fast enough for CI, and enough to keep them from rotting.

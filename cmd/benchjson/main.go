@@ -21,7 +21,11 @@
 // provenance lines. Sub-benchmarks named "<family>/workers=N" additionally
 // produce a scaling section: geometric-mean ns/op per worker count and the
 // speedup of every worker count over workers=1, the record behind the
-// README's worker-scaling table.
+// README's worker-scaling table. Families with "<family>/mode=repair"
+// and "/mode=rerun" sub-benchmarks produce an incremental-maintenance
+// section: amortized per-edit cost of localized repair vs. the
+// rerun-per-edit baseline, the record behind the README's dynamic-graphs
+// table.
 package main
 
 import (
@@ -99,6 +103,7 @@ func run(args []string, stdin io.Reader) error {
 	rec.summarize()
 	rec.summarizeScaling()
 	rec.summarizeSampling()
+	rec.summarizeIncr()
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -130,6 +135,9 @@ type Record struct {
 	// decomposition, parsed from families with an "<family>/exact"
 	// baseline and "<family>/eps=E" sub-benchmarks.
 	Sampling map[string]*Sampling `json:"sampling,omitempty"`
+	// Incr holds the incremental-maintenance record, parsed from families
+	// with "<family>/mode=repair" and "<family>/mode=rerun" sub-benchmarks.
+	Incr map[string]*Incr `json:"incr,omitempty"`
 }
 
 // Run is one labelled benchmark invocation: the verbatim benchmark lines
@@ -357,6 +365,105 @@ func (rec *Record) summarizeSampling() {
 			rec.Sampling = map[string]*Sampling{}
 		}
 		rec.Sampling[family] = s
+	}
+}
+
+// Incr is the amortized-cost record of one incremental-maintenance
+// benchmark family: ns per single-edge update through the localized
+// repair path vs. the rerun-per-edit baseline on the same edit stream,
+// the resulting speedup, and the repair path's dirty-region statistics
+// (all from the custom metrics the benchmark reports).
+type Incr struct {
+	RepairNsPerOp float64 `json:"repair_ns_per_op"`
+	RerunNsPerOp  float64 `json:"rerun_ns_per_op"`
+	// Speedup is the amortized advantage of localized repair over a warm
+	// full re-decomposition per edit.
+	Speedup       float64 `json:"speedup"`
+	EditsPerSec   float64 `json:"edits_per_sec"`
+	LocalizedFrac float64 `json:"localized_frac"`
+	RegionMean    float64 `json:"region_mean,omitempty"`
+	RegionP50     float64 `json:"region_p50,omitempty"`
+	RegionP90     float64 `json:"region_p90,omitempty"`
+	RegionMax     float64 `json:"region_max,omitempty"`
+	BoundaryMean  float64 `json:"boundary_mean,omitempty"`
+	RepairedMean  float64 `json:"repaired_mean,omitempty"`
+}
+
+// summarizeIncr fills the Incr section from families shaped like
+// "IncrMaintain/caveman2k/h=2/mode=repair" + ".../mode=rerun" in the
+// canonical run (same label resolution as summarizeScaling). ns/op
+// aggregates by geomean over repeated -count measurements; the region
+// statistics are per-run means already, so an arithmetic mean collapses
+// the repeats.
+func (rec *Record) summarizeIncr() {
+	run := rec.Runs["after"]
+	if run == nil {
+		run = rec.Runs["current"]
+	}
+	if run == nil && len(rec.Runs) == 1 {
+		for _, r := range rec.Runs {
+			run = r
+		}
+	}
+	if run == nil {
+		return
+	}
+	type cell struct {
+		logNs  float64
+		n      int
+		extras map[string]float64
+		extraN map[string]int
+	}
+	cells := map[string]map[string]*cell{} // family -> mode -> cell
+	for _, b := range run.Benchmarks {
+		family, mode, ok := cutLast(b.Name, "/mode=")
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		if cells[family] == nil {
+			cells[family] = map[string]*cell{}
+		}
+		c := cells[family][mode]
+		if c == nil {
+			c = &cell{extras: map[string]float64{}, extraN: map[string]int{}}
+			cells[family][mode] = c
+		}
+		c.logNs += math.Log(b.NsPerOp)
+		c.n++
+		for unit, val := range b.Extra {
+			c.extras[unit] += val
+			c.extraN[unit]++
+		}
+	}
+	for family, modes := range cells {
+		repair, rerun := modes["repair"], modes["rerun"]
+		if repair == nil || rerun == nil {
+			continue
+		}
+		mean := func(c *cell, unit string) float64 {
+			if c.extraN[unit] == 0 {
+				return 0
+			}
+			return c.extras[unit] / float64(c.extraN[unit])
+		}
+		repairNs := math.Exp(repair.logNs / float64(repair.n))
+		rerunNs := math.Exp(rerun.logNs / float64(rerun.n))
+		if rec.Incr == nil {
+			rec.Incr = map[string]*Incr{}
+		}
+		rec.Incr[family] = &Incr{
+			RepairNsPerOp: round2(repairNs),
+			RerunNsPerOp:  round2(rerunNs),
+			Speedup:       round2(rerunNs / repairNs),
+			EditsPerSec:   round2(mean(repair, "edits/sec")),
+			LocalizedFrac: round2(mean(repair, "localized-frac")),
+			RegionMean:    round2(mean(repair, "region-mean")),
+			RegionP50:     round2(mean(repair, "region-p50")),
+			RegionP90:     round2(mean(repair, "region-p90")),
+			RegionMax:     round2(mean(repair, "region-max")),
+			BoundaryMean:  round2(mean(repair, "boundary-mean")),
+			RepairedMean:  round2(mean(repair, "repaired-mean")),
+		}
 	}
 }
 

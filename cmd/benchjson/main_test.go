@@ -194,3 +194,41 @@ func TestPhaseBreakdown(t *testing.T) {
 		t.Fatalf("workers=4 phase-intervals = %v, want 2.5e6", got)
 	}
 }
+
+const sampleIncr = `goos: linux
+BenchmarkIncrMaintain/cave/h=2/mode=repair-8   30   2000000 ns/op   500.0 edits/sec   1.000 localized-frac   60.00 region-mean   52.00 region-p50   131.0 region-p90   149.0 region-max   70.00 boundary-mean   3.000 repaired-mean
+BenchmarkIncrMaintain/cave/h=2/mode=repair-8   30   8000000 ns/op   125.0 edits/sec   1.000 localized-frac   64.00 region-mean   52.00 region-p50   131.0 region-p90   149.0 region-max   70.00 boundary-mean   5.000 repaired-mean
+BenchmarkIncrMaintain/cave/h=2/mode=rerun-8    30  40000000 ns/op   25.00 edits/sec
+BenchmarkIncrMaintain/lone/h=2/mode=repair-8   30   1000000 ns/op   1000 edits/sec   1.000 localized-frac
+`
+
+// TestIncrSection checks the mode=repair/mode=rerun pairing: ns/op by
+// geomean across -count repeats, speedup = rerun/repair, region metrics
+// by arithmetic mean, and that a family missing its rerun baseline
+// produces no entry.
+func TestIncrSection(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	if err := run([]string{"-o", out}, strings.NewReader(sampleIncr)); err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	data, _ := os.ReadFile(out)
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	in := rec.Incr["IncrMaintain/cave/h=2"]
+	if in == nil {
+		t.Fatalf("no incr section: %+v", rec.Incr)
+	}
+	// Geomean of 2e6 and 8e6 is 4e6; rerun is 4e7 → 10× speedup.
+	if in.RepairNsPerOp != 4000000 || in.RerunNsPerOp != 40000000 || in.Speedup != 10 {
+		t.Fatalf("speedup record = %+v, want 4e6/4e7/10x", in)
+	}
+	if in.RegionMean != 62 || in.RepairedMean != 4 || in.LocalizedFrac != 1 {
+		t.Fatalf("region metrics = %+v, want mean of repeats", in)
+	}
+	if rec.Incr["IncrMaintain/lone/h=2"] != nil {
+		t.Fatal("family without a rerun baseline must not produce an entry")
+	}
+}

@@ -10,7 +10,7 @@
 //	khserve -dataset path/to/snap.txt -engines 4      # SNAP edge list, 4 engines
 //	khserve graph.txt -timeout 10s                    # positional edge list
 //
-// Endpoints (all GET, all JSON):
+// Endpoints (all JSON; queries are GET, mutations POST):
 //
 //	/healthz                       liveness + resolved serving configuration
 //	/readyz                        readiness: 200 while serving, 503 once draining
@@ -21,6 +21,9 @@
 //	/core?h=2&k=3                  members of the (k,h)-core C_k (mode=approx works here too)
 //	/spectrum?maxh=3               per-level summaries (&vertices=1 for per-vertex vectors)
 //	/hierarchy?h=2                 nested core-component forest
+//	POST /mutate                   apply edge edits ({"op":"insert","u":3,"v":17} or
+//	                               {"edits":[...]}): localized (k,h)-core repair at the
+//	                               -mutate-h threshold, fleet rebind, cache refresh
 //
 // Every request runs under a deadline: -timeout is the default,
 // ?timeout=500ms overrides it per request up to -max-timeout. A query that
@@ -58,6 +61,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -76,6 +80,7 @@ func main() {
 		maxH        = flag.Int("max-h", 8, "largest accepted distance threshold (guards the O(n·ball) blow-up of huge h)")
 		maxInflight = flag.Int("max-inflight", 0, "concurrent query limit before shedding with 429 (0 = 2×engines)")
 		drain       = flag.Duration("drain", 30*time.Second, "in-flight drain deadline of a SIGTERM/SIGINT graceful shutdown")
+		mutateH     = flag.Int("mutate-h", 2, "distance threshold POST /mutate maintains incrementally")
 	)
 	flag.Parse()
 	cfg := serverConfig{
@@ -86,6 +91,7 @@ func main() {
 		MaxH:        *maxH,
 		MaxInflight: *maxInflight,
 		Drain:       *drain,
+		MutateH:     *mutateH,
 	}
 	if err := run(*addr, *dataset, cfg, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "khserve:", err)
@@ -121,7 +127,7 @@ func run(addr, dataset string, cfg serverConfig, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer s.pool.Close()
+	defer s.close()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -136,16 +142,29 @@ func run(addr, dataset string, cfg serverConfig, args []string) error {
 	return s.serve(ctx, ln)
 }
 
-// server holds the serving state: one immutable graph, the engine fleet
-// all request goroutines multiplex onto, the admission limiter, and the
+// server holds the serving state: the current graph (swapped atomically
+// by mutations), the engine fleet all request goroutines multiplex onto,
+// the maintainer behind POST /mutate, the admission limiter, and the
 // latency tracker behind deadline-aware degradation.
 type server struct {
-	g          *khcore.Graph
+	gp         atomic.Pointer[khcore.Graph]
 	ids        []int64 // dense id -> original edge-list id (nil for datasets)
 	pool       *khcore.EnginePool
 	timeout    time.Duration
 	maxTimeout time.Duration
 	maxH       int
+
+	// The mutation plane: maint applies edits at the maintained h with
+	// localized repair, mutMu serializes writers, version tags which
+	// graph the cache's entries describe.
+	maint   *khcore.Maintainer
+	mutateH int
+	mutMu   sync.Mutex
+	version atomic.Int64
+	cache   resultCache
+	// stale mirrors maint.Stale() for /healthz, which must answer without
+	// blocking on mutMu while a repair is in flight.
+	stale atomic.Bool
 
 	// inflight is the admission semaphore: a query endpoint must place a
 	// token to run and sheds with 429 when it cannot. maxInflight is its
@@ -171,6 +190,7 @@ type serverConfig struct {
 	MaxH        int           // largest accepted h
 	MaxInflight int           // admission limit (≤ 0 = 2×engines)
 	Drain       time.Duration // graceful-shutdown drain deadline
+	MutateH     int           // h maintained by POST /mutate (≤ 0 = 2)
 }
 
 func newServer(g *khcore.Graph, ids []int64, cfg serverConfig) (*server, error) {
@@ -193,18 +213,37 @@ func newServer(g *khcore.Graph, ids []int64, cfg serverConfig) (*server, error) 
 	if cfg.Drain <= 0 {
 		cfg.Drain = 30 * time.Second
 	}
-	return &server{
-		g:           g,
+	if cfg.MutateH <= 0 {
+		cfg.MutateH = 2
+	}
+	maint, err := khcore.NewMaintainer(g, cfg.MutateH, khcore.Options{Workers: cfg.Workers})
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	s := &server{
 		ids:         ids,
 		pool:        pool,
 		timeout:     cfg.Timeout,
 		maxTimeout:  cfg.MaxTimeout,
 		maxH:        cfg.MaxH,
+		maint:       maint,
+		mutateH:     cfg.MutateH,
 		inflight:    make(chan struct{}, cfg.MaxInflight),
 		maxInflight: cfg.MaxInflight,
 		drain:       cfg.Drain,
-	}, nil
+	}
+	s.gp.Store(g)
+	s.version.Store(1)
+	// The maintainer's startup decomposition doubles as the first cache
+	// entry at the maintained h.
+	s.refreshMaintained()
+	return s, nil
 }
+
+// graph returns the current graph; mutations swap it atomically after
+// rebinding the engine fleet.
+func (s *server) graph() *khcore.Graph { return s.gp.Load() }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
@@ -214,6 +253,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /core", s.limited(s.handleCore))
 	mux.HandleFunc("GET /spectrum", s.limited(s.handleSpectrum))
 	mux.HandleFunc("GET /hierarchy", s.limited(s.handleHierarchy))
+	mux.HandleFunc("POST /mutate", s.limited(s.handleMutate))
 	return mux
 }
 
@@ -264,6 +304,10 @@ func errorCode(err error) (status int, code string) {
 		return http.StatusServiceUnavailable, "nil_graph"
 	case errors.Is(err, khcore.ErrPoolClosed):
 		return http.StatusServiceUnavailable, "pool_closed"
+	case errors.Is(err, khcore.ErrBadEdit):
+		// Covers the finer ErrEdgeExists / ErrNoSuchEdge sentinels too —
+		// both wrap ErrBadEdit.
+		return http.StatusBadRequest, "bad_request"
 	case errors.Is(err, khcore.ErrEnginePanic):
 		return http.StatusInternalServerError, "engine_panic"
 	case errors.Is(err, context.DeadlineExceeded):
@@ -386,13 +430,21 @@ type healthzResponse struct {
 	TimeoutMS        int64  `json:"timeoutMs"`
 	MaxTimeoutMS     int64  `json:"maxTimeoutMs"`
 	Draining         bool   `json:"draining"`
+	// The mutation plane: which h POST /mutate maintains, the version
+	// readers observe (bumped per successful mutation), and whether an
+	// interrupted mutation left a repair owed (served indices then
+	// describe the pre-edit graph until the next mutation folds it in).
+	MutateH      int   `json:"mutateH"`
+	GraphVersion int64 `json:"graphVersion"`
+	Stale        bool  `json:"stale"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g := s.graph()
 	writeJSON(w, http.StatusOK, healthzResponse{
 		Status:           "ok",
-		Vertices:         s.g.NumVertices(),
-		Edges:            s.g.NumEdges(),
+		Vertices:         g.NumVertices(),
+		Edges:            g.NumEdges(),
 		Engines:          s.pool.Size(),
 		WorkersPerEngine: s.pool.WorkersPerEngine(),
 		Rebuilding:       s.pool.Rebuilding(),
@@ -402,6 +454,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		TimeoutMS:        s.timeout.Milliseconds(),
 		MaxTimeoutMS:     s.maxTimeout.Milliseconds(),
 		Draining:         s.draining.Load(),
+		MutateH:          s.mutateH,
+		GraphVersion:     s.version.Load(),
+		Stale:            s.stale.Load(),
 	})
 }
 
@@ -418,7 +473,11 @@ type decomposeResponse struct {
 	// bound. Requests opt out with degrade=never.
 	Degraded bool         `json:"degraded,omitempty"`
 	Approx   *approxBlock `json:"approx,omitempty"`
-	Core     []int        `json:"core,omitempty"`
+	// Cached marks an exact response served from the per-(h, algo) result
+	// cache — valid for the current graph version, refreshed by POST
+	// /mutate at the maintained h and recomputed lazily elsewhere.
+	Cached bool  `json:"cached,omitempty"`
+	Core   []int `json:"core,omitempty"`
 }
 
 // approxBlock is the quality report of a mode=approx response — the
@@ -478,15 +537,34 @@ func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	opts := khcore.Options{H: h, Algorithm: algo, Approx: ap}
-	degraded := s.maybeDegrade(ctx, &opts, degrade)
-	start := time.Now()
-	res, err := s.pool.Decompose(ctx, opts)
+	useCache, err := parseCache(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	s.lat.observe(h, algo, opts.Approx.Enabled, time.Since(start))
+	opts := khcore.Options{H: h, Algorithm: algo, Approx: ap}
+	ver := s.version.Load()
+	var degraded, cached bool
+	var res *khcore.Result
+	if !ap.Enabled && useCache {
+		res, cached = s.cache.get(h, algo, ver)
+	}
+	if !cached {
+		degraded = s.maybeDegrade(ctx, &opts, degrade)
+		start := time.Now()
+		res, err = s.pool.Decompose(ctx, opts)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		s.lat.observe(h, algo, opts.Approx.Enabled, time.Since(start))
+		if !res.Stats.Approx.Enabled {
+			// Tagged with the pre-run version: a mutation that landed
+			// mid-run bumped it, so the entry misses forever — stale
+			// results never serve.
+			s.cache.put(h, algo, ver, res)
+		}
+	}
 	resp := decomposeResponse{
 		H:             res.H,
 		Algorithm:     algo.String(),
@@ -495,6 +573,7 @@ func (s *server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		CoreSizes:     res.CoreSizes(),
 		DurationMS:    res.Stats.Duration.Milliseconds(),
 		Degraded:      degraded,
+		Cached:        cached,
 	}
 	if res.Stats.Approx.Enabled {
 		resp.Approx = newApproxBlock(res.Stats.Approx)
@@ -511,10 +590,12 @@ type coreResponse struct {
 	Size    int     `json:"size"`
 	Members []int   `json:"members"`
 	IDs     []int64 `json:"ids,omitempty"`
-	// Degraded and Approx mirror decomposeResponse: set when the server
-	// fell back to the approximate tier to meet the request deadline.
+	// Degraded, Approx and Cached mirror decomposeResponse: set when the
+	// server fell back to the approximate tier to meet the request
+	// deadline, or served the current graph version's cached exact result.
 	Degraded bool         `json:"degraded,omitempty"`
 	Approx   *approxBlock `json:"approx,omitempty"`
+	Cached   bool         `json:"cached,omitempty"`
 }
 
 func (s *server) handleCore(w http.ResponseWriter, r *http.Request) {
@@ -547,24 +628,45 @@ func (s *server) handleCore(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	opts := khcore.Options{H: h, Approx: ap}
-	degraded := s.maybeDegrade(ctx, &opts, degrade)
-	start := time.Now()
-	res, err := s.pool.Decompose(ctx, opts)
+	useCache, err := parseCache(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	s.lat.observe(h, opts.Algorithm, opts.Approx.Enabled, time.Since(start))
+	opts := khcore.Options{H: h, Approx: ap}
+	ver := s.version.Load()
+	var degraded, cached bool
+	var res *khcore.Result
+	if !ap.Enabled && useCache {
+		res, cached = s.cache.get(h, opts.Algorithm, ver)
+	}
+	if !cached {
+		degraded = s.maybeDegrade(ctx, &opts, degrade)
+		start := time.Now()
+		res, err = s.pool.Decompose(ctx, opts)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		s.lat.observe(h, opts.Algorithm, opts.Approx.Enabled, time.Since(start))
+		if !res.Stats.Approx.Enabled {
+			s.cache.put(h, opts.Algorithm, ver, res)
+		}
+	}
 	members := res.CoreVertices(k)
-	resp := coreResponse{H: h, K: k, Size: len(members), Members: members, Degraded: degraded}
+	resp := coreResponse{H: h, K: k, Size: len(members), Members: members, Degraded: degraded, Cached: cached}
 	if res.Stats.Approx.Enabled {
 		resp.Approx = newApproxBlock(res.Stats.Approx)
 	}
 	if s.ids != nil {
 		resp.IDs = make([]int64, len(members))
 		for i, v := range members {
-			resp.IDs[i] = s.ids[v]
+			if v < len(s.ids) {
+				resp.IDs[i] = s.ids[v]
+			} else {
+				// Vertices created by mutations have no edge-list id.
+				resp.IDs[i] = -1
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -648,12 +750,23 @@ func (s *server) handleHierarchy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	// The hierarchy pairs a decomposition with the graph it came from; a
+	// mutation landing mid-request would mismatch the two, so detect the
+	// version slip and ask the client to retry against the settled graph.
+	ver := s.version.Load()
+	g := s.graph()
 	res, err := s.pool.Decompose(ctx, khcore.Options{H: h})
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	hier, err := khcore.BuildHierarchy(s.g, res)
+	if s.version.Load() != ver {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{Error: "khserve: graph mutated mid-request, retry", Code: "graph_mutated"})
+		return
+	}
+	hier, err := khcore.BuildHierarchy(g, res)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -34,7 +34,7 @@ func testServer(t *testing.T, engines int) (*server, *khcore.Graph) {
 	if err != nil {
 		t.Fatalf("newServer: %v", err)
 	}
-	t.Cleanup(s.pool.Close)
+	t.Cleanup(s.close)
 	return s, g
 }
 
@@ -174,7 +174,7 @@ func TestDeadlineExpiryReports504(t *testing.T) {
 	// A nanosecond deadline expires before the engine's first cancellation
 	// poll, so the run aborts as canceled-with-DeadlineExceeded.
 	var body errorBody
-	resp := get(t, s.handler(), "/decompose?h=2&timeout=1ns", &body)
+	resp := get(t, s.handler(), "/decompose?h=2&timeout=1ns&cache=never", &body)
 	if resp.StatusCode != http.StatusGatewayTimeout || body.Code != "deadline_exceeded" {
 		t.Fatalf("got status %d code %q, want 504 deadline_exceeded", resp.StatusCode, body.Code)
 	}

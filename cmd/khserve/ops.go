@@ -81,7 +81,7 @@ func (s *server) serve(ctx context.Context, ln net.Listener) error {
 	select {
 	case err := <-errc:
 		// The listener failed outright; nothing is serving, close now.
-		s.pool.Close()
+		s.close()
 		return err
 	case <-ctx.Done():
 	}
@@ -90,7 +90,7 @@ func (s *server) serve(ctx context.Context, ln net.Listener) error {
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx) // non-nil iff the drain deadline expired
 	<-errc                           // the Serve goroutine has exited (http.ErrServerClosed)
-	s.pool.Close()
+	s.close()
 	return err
 }
 
@@ -114,6 +114,22 @@ func parseDegrade(r *http.Request) (degradePolicy, error) {
 		return degradeNever, nil
 	default:
 		return 0, fmt.Errorf("%w: degrade=%q (want auto or never)", errBadRequest, v)
+	}
+}
+
+// parseCache reads the per-request ?cache= choice: auto (the default)
+// lets exact queries serve from the current graph version's result
+// cache, never forces a fresh run — for clients measuring real engine
+// latency, and for tests that need a request to actually occupy an
+// engine.
+func parseCache(r *http.Request) (useCache bool, err error) {
+	switch v := r.URL.Query().Get("cache"); v {
+	case "", "auto":
+		return true, nil
+	case "never":
+		return false, nil
+	default:
+		return false, fmt.Errorf("%w: cache=%q (want auto or never)", errBadRequest, v)
 	}
 }
 

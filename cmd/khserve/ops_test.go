@@ -59,7 +59,7 @@ func TestAdmissionControl(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(s.pool.Close)
+	t.Cleanup(s.close)
 	h := s.handler()
 
 	// Hold the only engine so an admitted request parks in Acquire.
@@ -69,7 +69,7 @@ func TestAdmissionControl(t *testing.T) {
 	}
 	first := make(chan int, 1)
 	go func() {
-		resp := get(t, h, "/decompose?h=2&timeout=10s", nil)
+		resp := get(t, h, "/decompose?h=2&timeout=10s&cache=never", nil)
 		first <- resp.StatusCode
 	}()
 	deadline := time.Now().Add(5 * time.Second)
@@ -161,7 +161,7 @@ func TestDegradeAutoFallsBack(t *testing.T) {
 	s.lat.observe(2, khcore.HLBUB, false, time.Hour)
 
 	var body decomposeResponse
-	resp := get(t, h, "/decompose?h=2&timeout=2s&vertices=1", &body)
+	resp := get(t, h, "/decompose?h=2&timeout=2s&vertices=1&cache=never", &body)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("degraded request: status %d", resp.StatusCode)
 	}
@@ -188,7 +188,7 @@ func TestDegradeAutoFallsBack(t *testing.T) {
 
 	// /core degrades through the same path and carries the same markers.
 	var cb coreResponse
-	if resp := get(t, h, "/core?h=2&k=2&timeout=2s", &cb); resp.StatusCode != http.StatusOK {
+	if resp := get(t, h, "/core?h=2&k=2&timeout=2s&cache=never", &cb); resp.StatusCode != http.StatusOK {
 		t.Fatalf("degraded /core: status %d", resp.StatusCode)
 	}
 	if !cb.Degraded || cb.Approx == nil {
@@ -235,7 +235,7 @@ func TestDegradationUnderRealDeadline(t *testing.T) {
 	h := s.handler()
 	var warm decomposeResponse
 	for i := 0; i < 2; i++ {
-		if resp := get(t, h, "/decompose?h=3", &warm); resp.StatusCode != http.StatusOK {
+		if resp := get(t, h, "/decompose?h=3&cache=never", &warm); resp.StatusCode != http.StatusOK {
 			t.Fatalf("warm-up: status %d", resp.StatusCode)
 		}
 	}
@@ -247,7 +247,7 @@ func TestDegradationUnderRealDeadline(t *testing.T) {
 		t.Skipf("exact h=3 runs in %v; no deadline can squeeze it reliably", est)
 	}
 	var body decomposeResponse
-	resp := get(t, h, fmt.Sprintf("/decompose?h=3&timeout=%s", est/2), &body)
+	resp := get(t, h, fmt.Sprintf("/decompose?h=3&timeout=%s&cache=never", est/2), &body)
 	if resp.StatusCode != http.StatusOK || !body.Degraded {
 		t.Fatalf("squeezed request: status %d degraded=%v", resp.StatusCode, body.Degraded)
 	}
@@ -297,7 +297,7 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	inflight := make(chan int, 1)
 	go func() {
-		code, _ := httpGet("/decompose?h=2&timeout=10s")
+		code, _ := httpGet("/decompose?h=2&timeout=10s&cache=never")
 		inflight <- code
 	}()
 	deadline := time.Now().Add(5 * time.Second)

@@ -1,0 +1,175 @@
+package khcore_test
+
+// Incremental-maintenance benchmarks (run with `go test -bench=IncrMaintain`,
+// recorded into BENCH_incr.json by `make bench-incr`): a Maintainer absorbs
+// a deterministic toggle stream of single-edge edits — delete an existing
+// edge, later insert it back — in two modes. mode=repair is the localized
+// region-repair path; mode=rerun disables it (SetIncremental(false)), so
+// every edit pays a warm full re-decomposition: the rerun-per-edit baseline
+// the amortized speedup is measured against. The repair mode additionally
+// reports the dirty-region size distribution (mean/p50/p90/max), the
+// localized fraction and edits/sec as custom metrics, which benchjson's
+// incremental section turns into the per-graph speedup record.
+//
+// The graphs are caveman graphs: DISJOINT dense blocks joined by a ring
+// of single bridge edges, the regime where the dirty region of an edit
+// stays inside one block at h = 2 in BOTH edit directions — deletes
+// always certify locally there, and insert gain-windows fit the probe
+// budget. They are built directly rather than with gen.Communities: that
+// generator's communities have overlapping membership (a relaxed caveman
+// model), which chains every block into one globally coupled mass at
+// h ≥ 2 and leaves no locality for repair to exploit. (Expander-like
+// graphs likewise have no distance-h locality: a single edit's region is
+// a constant fraction of the graph, and the maintainer honestly falls
+// back to the warm full run — that regime is covered by the differential
+// tests, not benchmarked as a speedup.)
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	khcore "repro"
+	"repro/internal/gen"
+)
+
+// incrBenchGraphs are the bench graphs of the incremental subsystem.
+var incrBenchGraphs = []struct {
+	name string
+	g    func() *khcore.Graph
+}{
+	{"caveman2k", func() *khcore.Graph { return caveman(40, 40, 60, 0.3, 97) }},
+	{"caveman4k", func() *khcore.Graph { return caveman(80, 40, 60, 0.3, 98) }},
+}
+
+// caveman builds nBlocks disjoint dense blocks (cliques with a `drop`
+// fraction of intra-block edges removed) of size minSize..maxSize,
+// joined into one component by a ring of single bridge edges between
+// random representatives of adjacent blocks.
+func caveman(nBlocks, minSize, maxSize int, drop float64, seed uint64) *khcore.Graph {
+	r := gen.NewRNG(seed)
+	b := khcore.NewBuilder(0)
+	starts := make([]int, 0, nBlocks+1)
+	v := 0
+	for i := 0; i < nBlocks; i++ {
+		starts = append(starts, v)
+		size := minSize + r.Intn(maxSize-minSize+1)
+		for x := v; x < v+size; x++ {
+			for y := x + 1; y < v+size; y++ {
+				if r.Float64() >= drop {
+					b.AddEdge(x, y)
+				}
+			}
+		}
+		v += size
+	}
+	starts = append(starts, v)
+	for i := 0; i < nBlocks; i++ {
+		u := starts[i] + r.Intn(starts[i+1]-starts[i])
+		j := (i + 1) % nBlocks
+		w := starts[j] + r.Intn(starts[j+1]-starts[j])
+		b.AddEdge(u, w)
+	}
+	return b.Build()
+}
+
+// toggleStream yields a deterministic endless stream of single-edge edits
+// over g: each step picks one of `width` seed edges and toggles it —
+// delete while present, insert back while absent — so the graph never
+// drifts far from its original density and every edit is valid.
+type toggleStream struct {
+	edges   [][2]int
+	present []bool
+	rng     *gen.RNG
+}
+
+func newToggleStream(g *khcore.Graph, width int, seed uint64) *toggleStream {
+	rng := gen.NewRNG(seed)
+	n := g.NumVertices()
+	ts := &toggleStream{rng: rng}
+	seen := map[[2]int]bool{}
+	for len(ts.edges) < width {
+		u := rng.Intn(n)
+		adj := g.Neighbors(u)
+		if len(adj) == 0 {
+			continue
+		}
+		v := int(adj[rng.Intn(len(adj))])
+		k := [2]int{min(u, v), max(u, v)}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		ts.edges = append(ts.edges, k)
+		ts.present = append(ts.present, true)
+	}
+	return ts
+}
+
+func (ts *toggleStream) next() khcore.EdgeEdit {
+	i := ts.rng.Intn(len(ts.edges))
+	e := khcore.EdgeEdit{U: ts.edges[i][0], V: ts.edges[i][1]}
+	if ts.present[i] {
+		e.Op = khcore.EditDelete
+	} else {
+		e.Op = khcore.EditInsert
+	}
+	ts.present[i] = !ts.present[i]
+	return e
+}
+
+// BenchmarkIncrMaintain is the amortized-cost record behind the README's
+// dynamic-graphs table: ns per single-edge update at h=2, localized
+// repair vs. the rerun-per-edit baseline on the same seeded edit stream.
+func BenchmarkIncrMaintain(b *testing.B) {
+	const h = 2
+	for _, bg := range incrBenchGraphs {
+		g := bg.g()
+		for _, mode := range []string{"repair", "rerun"} {
+			b.Run(fmt.Sprintf("%s/h=%d/mode=%s", bg.name, h, mode), func(b *testing.B) {
+				m, err := khcore.NewMaintainer(g, h, khcore.Options{Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer m.Close()
+				m.SetIncremental(mode == "repair")
+				ts := newToggleStream(g, 64, 11)
+				ctx := context.Background()
+				var regions []int
+				localized, boundarySum, repairedSum := 0, 0, 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := m.ApplyBatch(ctx, []khcore.EdgeEdit{ts.next()}); err != nil {
+						b.Fatal(err)
+					}
+					st := m.LastStats().Incr
+					if st.Localized {
+						localized++
+						regions = append(regions, st.RegionSize)
+						boundarySum += st.BoundarySize
+						repairedSum += st.RepairedVertices
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "edits/sec")
+				if mode == "repair" {
+					b.ReportMetric(float64(localized)/float64(b.N), "localized-frac")
+					if len(regions) > 0 {
+						sort.Ints(regions)
+						sum := 0
+						for _, r := range regions {
+							sum += r
+						}
+						b.ReportMetric(float64(sum)/float64(len(regions)), "region-mean")
+						b.ReportMetric(float64(regions[len(regions)/2]), "region-p50")
+						b.ReportMetric(float64(regions[len(regions)*9/10]), "region-p90")
+						b.ReportMetric(float64(regions[len(regions)-1]), "region-max")
+						b.ReportMetric(float64(boundarySum)/float64(len(regions)), "boundary-mean")
+						b.ReportMetric(float64(repairedSum)/float64(len(regions)), "repaired-mean")
+					}
+				}
+			})
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/hbfs"
+	"repro/internal/incr"
 	"repro/internal/vset"
 )
 
@@ -199,6 +200,11 @@ type Stats struct {
 	// Approx is the quality report of an approximate run (zero for exact
 	// runs; Approx.Enabled distinguishes the two).
 	Approx ApproxStats
+
+	// Incr describes the incremental update that produced this result
+	// (zero for ordinary decompositions; set on the Stats returned by
+	// Maintainer.LastStats after an edit batch).
+	Incr incr.Stats
 }
 
 // absorb folds a solver's work counters into the aggregate and zeroes the
@@ -370,6 +376,10 @@ type Engine struct {
 	// Approximate-peel scratch: per-vertex fractional decrement carry
 	// (see approxPeel).
 	approxResid []float64
+
+	// incrOld is the localized-repair undo log: the dirty region's
+	// pre-edit core indices, snapshot by repairRegionCtx (see repair.go).
+	incrOld []int32
 
 	// bcast is the lock-free settled-vertex broadcast for the parallel
 	// interval path: bcast[v] holds core(v)+1 once some interval solver

@@ -84,7 +84,45 @@ func NewEnginePool(g *graph.Graph, engines, workersPerEngine int) (*EnginePool, 
 }
 
 // Graph returns the graph the fleet is bound to.
-func (p *EnginePool) Graph() *graph.Graph { return p.g }
+func (p *EnginePool) Graph() *graph.Graph {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.g
+}
+
+// Reset rebinds the whole fleet to a new graph. It checks out every
+// engine first — blocking, with ctx-aware bail-out, until in-flight runs
+// (and quarantine rebuilds) drain — so no run ever observes a
+// half-rebound fleet, then rebinds each engine's scratch in place and
+// returns the fleet to service. Callers that serve mutations (see
+// cmd/khserve's /mutate) use this to follow a Maintainer's graph without
+// rebuilding the pool. Returns ErrNilGraph for a nil graph, and the
+// usual ErrCanceled / ErrPoolClosed wraps from the drain.
+func (p *EnginePool) Reset(ctx context.Context, g *graph.Graph) error {
+	if g == nil {
+		return fmt.Errorf("%w: EnginePool.Reset", ErrNilGraph)
+	}
+	acquired := make([]*Engine, 0, p.Size())
+	defer func() {
+		for _, e := range acquired {
+			p.Release(e)
+		}
+	}()
+	for i := 0; i < p.Size(); i++ {
+		e, err := p.Acquire(ctx)
+		if err != nil {
+			return err
+		}
+		acquired = append(acquired, e)
+	}
+	p.mu.Lock()
+	p.g = g
+	p.mu.Unlock()
+	for _, e := range acquired {
+		e.Reset(g)
+	}
+	return nil
+}
 
 // Size returns the number of engines in the fleet.
 func (p *EnginePool) Size() int { return len(p.engines) }
@@ -189,9 +227,17 @@ func (p *EnginePool) quarantine(e *Engine) {
 // on a closed channel. The send itself cannot block: the quarantined
 // engine vacated exactly one slot of the free channel's Size() capacity.
 func (p *EnginePool) rebuild(old *Engine) {
-	fresh := NewEngine(p.g, p.workersPerEngine)
+	p.mu.Lock()
+	g := p.g
+	p.mu.Unlock()
+	fresh := NewEngine(g, p.workersPerEngine)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.g != g {
+		// The fleet was Reset to a new graph while this replacement was
+		// being built; rebind it before it enters service.
+		fresh.Reset(p.g)
+	}
 	for i, e := range p.engines {
 		if e == old {
 			p.engines[i] = fresh

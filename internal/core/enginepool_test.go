@@ -354,3 +354,93 @@ func TestEnginePoolResolvedSizes(t *testing.T) {
 		t.Fatalf("explicit sizes mangled: engines=%d workers=%d", pool2.Size(), pool2.WorkersPerEngine())
 	}
 }
+
+// TestEnginePoolReset pins the fleet-rebind contract behind the serving
+// daemon's mutation path: Reset drains the fleet, swaps the graph, and
+// every later run decomposes the new graph bit-identically to a fresh
+// pool — concurrently with readers, none of which may ever observe a
+// half-rebound fleet (a result from one graph with sizes of the other).
+func TestEnginePoolReset(t *testing.T) {
+	leakcheck.Check(t)
+	g1 := gen.ErdosRenyi(150, 400, 1)
+	g2 := gen.BarabasiAlbert(200, 2, 2)
+	pool, err := NewEnginePool(g1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if err := pool.Reset(context.Background(), nil); !errors.Is(err, ErrNilGraph) {
+		t.Fatalf("Reset(nil) = %v, want ErrNilGraph", err)
+	}
+
+	want1, err := Decompose(g1, Options{H: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := Decompose(g2, Options{H: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	match := func(res *Result) bool {
+		var want []int
+		switch len(res.Core) {
+		case len(want1.Core):
+			want = want1.Core
+		case len(want2.Core):
+			want = want2.Core
+		default:
+			return false
+		}
+		for v := range want {
+			if res.Core[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var res Result
+			for j := 0; j < 8; j++ {
+				if err := pool.DecomposeInto(context.Background(), &res, Options{H: 2}); err != nil {
+					errs <- err
+					return
+				}
+				if !match(&res) {
+					errs <- errors.New("result matches neither graph: torn rebind")
+					return
+				}
+			}
+		}()
+	}
+	if err := pool.Reset(context.Background(), g2); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if pool.Graph() != g2 {
+		t.Fatal("Graph() still reports the old graph after Reset")
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the rebind settles, every run decomposes the new graph.
+	var res Result
+	if err := pool.DecomposeInto(context.Background(), &res, Options{H: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Core) != len(want2.Core) {
+		t.Fatalf("post-Reset run has %d vertices, want %d", len(res.Core), len(want2.Core))
+	}
+	for v := range want2.Core {
+		if res.Core[v] != want2.Core[v] {
+			t.Fatalf("post-Reset core[%d] = %d, want %d", v, res.Core[v], want2.Core[v])
+		}
+	}
+}

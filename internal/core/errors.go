@@ -45,7 +45,9 @@ var (
 	ErrInvalidResult = errors.New("khcore: invalid decomposition result")
 	// ErrBadEdit is returned by the Maintainer for an edge edit that
 	// cannot apply: inserting a present edge, deleting an absent one, or
-	// an out-of-range/self-loop endpoint pair.
+	// an out-of-range/self-loop endpoint pair. The first two cases carry
+	// the finer sentinels ErrEdgeExists and ErrNoSuchEdge, which wrap
+	// ErrBadEdit — errors.Is against either level holds.
 	ErrBadEdit = errors.New("khcore: bad edge edit")
 	// ErrEnginePanic is returned by the EnginePool conveniences when the
 	// engine serving the request panicked. The panicking engine's scratch
@@ -54,6 +56,18 @@ var (
 	// only one affected — retrying is safe. The concrete error is an
 	// *EnginePanicError carrying the panic value and stack.
 	ErrEnginePanic = errors.New("khcore: engine panicked")
+)
+
+// The fine-grained edit sentinels. Both wrap ErrBadEdit, so existing
+// errors.Is(err, ErrBadEdit) dispatch keeps matching while callers that
+// care (idempotent mutation clients, the khserve error mapper) can tell
+// the two apart.
+var (
+	// ErrEdgeExists is returned when inserting an edge that is already
+	// present.
+	ErrEdgeExists = fmt.Errorf("%w: edge exists", ErrBadEdit)
+	// ErrNoSuchEdge is returned when deleting an edge that is not present.
+	ErrNoSuchEdge = fmt.Errorf("%w: no such edge", ErrBadEdit)
 )
 
 // EnginePanicError is the concrete error behind ErrEnginePanic: one

@@ -70,6 +70,15 @@ type partitionSolver struct {
 	// and are re-counted (with a fresh cap) when the peeling frontier pops
 	// them, settling only on an exact count. See coreDecomp.
 	capped *vset.Set
+	// pinned marks boundary carriers of a localized repair
+	// (Engine.repairRegion): vertices whose core index is known to be
+	// unchanged by the edit batch. They sit in the queue at that index so
+	// region vertices see correct distances and removal order, but a pop
+	// settles them immediately — no recount — and setLB keeps
+	// removeAndUpdate's neighbor refresh off them. hasPinned gates the
+	// extra pop-path check so the ordinary decomposition pays one branch.
+	pinned    *vset.Set
+	hasPinned bool
 
 	// deg is the current h-degree of a vertex w.r.t. the alive set; it is
 	// meaningful only while the vertex is outside setLB.
@@ -96,6 +105,7 @@ func newPartitionSolver() *partitionSolver {
 		dirty:    vset.New(0),
 		inQueue:  vset.New(0),
 		capped:   vset.New(0),
+		pinned:   vset.New(0),
 	}
 }
 
@@ -121,6 +131,8 @@ func (s *partitionSolver) bind(g *graph.Graph, core []int32, h, slack int, pool 
 	s.dirty.Resize(n)
 	s.inQueue.Resize(n)
 	s.capped.Resize(n)
+	s.pinned.Resize(n)
+	s.hasPinned = false
 	s.deg = growInt32(s.deg, n)
 	s.lb3 = growInt32(s.lb3, n)
 	// Pre-size the list scratch to the whole vertex set: which intervals a
@@ -310,6 +322,14 @@ func (s *partitionSolver) coreDecomp(kmin, kmax int) {
 				break
 			}
 			if s.setLB.Contains(v) || s.capped.Contains(v) {
+				// A pinned boundary carrier (localized repair only) settles
+				// at its bucket key — its core index is known unchanged, so
+				// the recount below would be pure waste — while its removal
+				// still feeds correct decrements into the region.
+				if s.hasPinned && s.pinned.Contains(v) {
+					s.removeAndUpdate(v, k)
+					continue
+				}
 				// Before paying a truncated recount, consult the broadcast:
 				// a higher interval may have settled v mid-peel (its true
 				// core exceeds kmax, so this interval could never settle it

@@ -49,6 +49,13 @@ const (
 	// UBRebucket fires once per round of the parallel Algorithm-5 peel,
 	// just before the serial re-bucket of the round's touched vertices.
 	UBRebucket Site = "core.ub.rebucket"
+	// IncrRegion fires once per expanded vertex in the incremental
+	// maintainer's dirty-region closure (incr.Finder.CloseRegionCtx).
+	IncrRegion Site = "incr.region.expand"
+	// IncrSplice fires in Engine.repairRegion between seeding the localized
+	// re-peel and splicing the repaired core indices into the published
+	// array — the seam where a fault must leave the carried bounds sound.
+	IncrSplice Site = "incr.splice"
 )
 
 // registry lists every declared site. The faultsite analyzer checks the
@@ -60,6 +67,8 @@ var registry = []Site{
 	BatchChunk,
 	PeelRound,
 	UBRebucket,
+	IncrRegion,
+	IncrSplice,
 }
 
 // Sites returns the full list of registered injection sites.

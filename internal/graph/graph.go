@@ -187,6 +187,69 @@ func (b *Builder) Build() *Graph {
 	return &Graph{offsets: offsets, edges: edges[:out]}
 }
 
+// Splice returns a new graph equal to g with the given undirected edges
+// inserted and deleted, and the vertex count grown to n (vertex counts
+// never shrink: n below g's count is ignored). It runs in O(n + m +
+// b log b) for batch size b — one linear merge pass over the CSR arrays
+// instead of a full rebuild — which is what makes single-edge maintenance
+// batches cheap on large graphs. g itself is unchanged.
+//
+// Preconditions (the incremental maintainer's batch validation
+// establishes them): every pair is normalized with u < v and u != v, no
+// pair occurs twice across both lists, inserted edges are absent from g
+// and deleted edges present. Violations produce a structurally valid but
+// wrong graph, not a panic.
+func (g *Graph) Splice(n int, inserts, deletes [][2]int32) *Graph {
+	oldN := g.NumVertices()
+	if n < oldN {
+		n = oldN
+	}
+	// Scatter the batch into per-endpoint patch lists; only the touched
+	// vertices (at most 2b of them) get one.
+	ins := make(map[int32][]int32, 2*len(inserts))
+	del := make(map[int32][]int32, 2*len(deletes))
+	for _, e := range inserts {
+		ins[e[0]] = append(ins[e[0]], e[1])
+		ins[e[1]] = append(ins[e[1]], e[0])
+	}
+	for _, e := range deletes {
+		del[e[0]] = append(del[e[0]], e[1])
+		del[e[1]] = append(del[e[1]], e[0])
+	}
+	offsets := make([]int32, n+1)
+	edges := make([]int32, 0, len(g.edges)+2*(len(inserts)-len(deletes)))
+	for v := 0; v < n; v++ {
+		var adj []int32
+		if v < oldN {
+			adj = g.Neighbors(v)
+		}
+		iv, dv := ins[int32(v)], del[int32(v)]
+		if len(iv) == 0 && len(dv) == 0 {
+			edges = append(edges, adj...)
+		} else {
+			sort.Slice(iv, func(a, b int) bool { return iv[a] < iv[b] })
+			sort.Slice(dv, func(a, b int) bool { return dv[a] < dv[b] })
+			// Merge the sorted old adjacency with the sorted insert
+			// targets, dropping the delete targets as they stream past.
+			i, d := 0, 0
+			for _, w := range adj {
+				for i < len(iv) && iv[i] < w {
+					edges = append(edges, iv[i])
+					i++
+				}
+				if d < len(dv) && dv[d] == w {
+					d++
+					continue
+				}
+				edges = append(edges, w)
+			}
+			edges = append(edges, iv[i:]...)
+		}
+		offsets[v+1] = int32(len(edges))
+	}
+	return &Graph{offsets: offsets, edges: edges}
+}
+
 // FromEdges is a convenience constructor: it builds a graph with n vertices
 // from the given undirected edge pairs.
 func FromEdges(n int, edges [][2]int) *Graph {

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// spliceEqual checks g against want vertex by vertex: same count, same
+// sorted adjacency.
+func spliceEqual(t *testing.T, g, want *Graph) {
+	t.Helper()
+	if g.NumVertices() != want.NumVertices() {
+		t.Fatalf("n = %d, want %d", g.NumVertices(), want.NumVertices())
+	}
+	if g.NumEdges() != want.NumEdges() {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), want.NumEdges())
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		got, exp := g.Neighbors(v), want.Neighbors(v)
+		if len(got) != len(exp) {
+			t.Fatalf("deg(%d) = %d, want %d", v, len(got), len(exp))
+		}
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Fatalf("adj(%d)[%d] = %d, want %d", v, i, got[i], exp[i])
+			}
+		}
+	}
+}
+
+func TestSpliceBasics(t *testing.T) {
+	g := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+
+	// Pure insert, growing the vertex count.
+	g2 := g.Splice(6, [][2]int32{{3, 5}, {0, 2}}, nil)
+	want := FromEdges(6, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 5}, {0, 2}})
+	spliceEqual(t, g2, want)
+
+	// Pure delete.
+	g3 := g.Splice(4, nil, [][2]int32{{1, 2}})
+	spliceEqual(t, g3, FromEdges(4, [][2]int{{0, 1}, {2, 3}}))
+
+	// Mixed batch; n below the current count is ignored.
+	g4 := g.Splice(0, [][2]int32{{0, 3}}, [][2]int32{{0, 1}, {2, 3}})
+	spliceEqual(t, g4, FromEdges(4, [][2]int{{1, 2}, {0, 3}}))
+
+	// Empty batch is a copy.
+	spliceEqual(t, g.Splice(4, nil, nil), g)
+
+	// The receiver is untouched throughout.
+	spliceEqual(t, g, FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}}))
+}
+
+// TestSpliceRandomDifferential applies random valid batches to random
+// graphs and checks Splice against a from-scratch Builder over the same
+// edge set.
+func TestSpliceRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(40)
+		edges := map[[2]int32]struct{}{}
+		for i := 0; i < rng.Intn(3*n); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			edges[[2]int32{int32(u), int32(v)}] = struct{}{}
+		}
+		build := func(n int, set map[[2]int32]struct{}) *Graph {
+			b := NewBuilder(n)
+			for k := range set {
+				b.AddEdge(int(k[0]), int(k[1]))
+			}
+			return b.Build()
+		}
+		g := build(n, edges)
+
+		// One valid batch: distinct pairs, inserts absent, deletes present.
+		newN := n
+		if rng.Intn(2) == 0 {
+			newN = n + rng.Intn(5)
+		}
+		var ins, del [][2]int32
+		touched := map[[2]int32]bool{}
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			u, v := rng.Intn(newN), rng.Intn(newN)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			k := [2]int32{int32(u), int32(v)}
+			if touched[k] {
+				continue
+			}
+			touched[k] = true
+			if _, ok := edges[k]; ok {
+				del = append(del, k)
+				delete(edges, k)
+			} else {
+				ins = append(ins, k)
+				edges[k] = struct{}{}
+			}
+		}
+
+		spliceEqual(t, g.Splice(newN, ins, del), build(newN, edges))
+	}
+}

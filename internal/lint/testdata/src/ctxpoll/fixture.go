@@ -44,3 +44,50 @@ func unmarked(g *graph.Graph, t *hbfs.Traversal, alive *vset.Set) {
 		t.HDegree(v, 2, alive)
 	}
 }
+
+// The incremental repair closure shape: a worklist that grows while it
+// is scanned, each element expanding a ball. The loop bound is not the
+// graph size, but each iteration is a traversal — the poll contract
+// applies all the same.
+func CloseRegionBadCtx(ctx context.Context, g *graph.Graph, t *hbfs.Traversal) {
+	list := []int32{0}
+	for i := 0; i < len(list); i++ { // want "traversal loop without a cancellation poll"
+		ball, _ := t.Ball(int(list[i]), 2, nil)
+		for _, w := range ball {
+			if len(list) < 64 {
+				list = append(list, w)
+			}
+		}
+	}
+	_ = ctx
+}
+
+func CloseRegionGoodCtx(ctx context.Context, g *graph.Graph, t *hbfs.Traversal) error {
+	list := []int32{0}
+	for i := 0; i < len(list); i++ { // ok: amortized poll every 16 expansions
+		if i&15 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		ball, _ := t.Ball(int(list[i]), 2, nil)
+		for _, w := range ball { // ok: no traversal work, only worklist growth
+			if len(list) < 64 {
+				list = append(list, w)
+			}
+		}
+	}
+	return nil
+}
+
+// The admission-probe shape: a window flood bounded by a constant budget
+// rather than the graph, declared poll-exempt per batch.
+//
+//khcore:peel
+func probeWindow(t *hbfs.Traversal) {
+	//khcore:poll-ok window bounded by raiseBudget balls; the closure polls between probes
+	for i := 0; i < 64; i++ {
+		t.HDegree(i, 2, nil)
+	}
+	for i := 0; i < 64; i++ { // want "traversal loop without a cancellation poll"
+		t.HDegree(i, 2, nil)
+	}
+}

@@ -8,6 +8,8 @@ import "repro/internal/vset"
 type solver struct {
 	alive *vset.Set
 	tmp   *vset.Set
+	mask  *vset.Set
+	wseen *vset.Set
 }
 
 func (s *solver) reuseWithoutReset(v int) {
@@ -29,6 +31,16 @@ func (s *solver) callerOwnsAlive(v int) {
 func (s *solver) callerOwnsAll(v int) {
 	s.alive.Add(v) // ok: caller owns every epoch
 	s.tmp.Remove(v)
+}
+
+// The incremental admission-probe shape: several scratch sets share one
+// caller-owned epoch, listed together in a single marker.
+//
+//khcore:vset-caller-epoch mask wseen
+func (s *solver) probeScratch(v int) {
+	s.mask.Add(v)  // ok: listed in the marker
+	s.wseen.Add(v) // ok: listed in the marker
+	s.alive.Add(v) // want "without an earlier epoch reset"
 }
 
 func fresh(n, v int) *vset.Set {

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/incr"
 )
 
 // The typed errors of the serving contract. Every entry point wraps one of
@@ -56,6 +57,24 @@ var (
 	ErrPoolClosed       = core.ErrPoolClosed
 	ErrInvalidApprox    = core.ErrInvalidApprox
 	ErrEnginePanic      = core.ErrEnginePanic
+)
+
+// The dynamic-maintenance edit sentinels. ErrBadEdit is the coarse
+// class every malformed edge edit wraps (self-loop, negative endpoint,
+// unknown op); ErrEdgeExists and ErrNoSuchEdge are the finer causes and
+// wrap ErrBadEdit themselves, so errors.Is dispatch works at either
+// granularity:
+//
+//	err := m.InsertEdge(u, v)
+//	switch {
+//	case errors.Is(err, khcore.ErrEdgeExists): // duplicate insert
+//	case errors.Is(err, khcore.ErrNoSuchEdge): // delete of a missing edge
+//	case errors.Is(err, khcore.ErrBadEdit):    // any other malformed edit
+//	}
+var (
+	ErrBadEdit    = core.ErrBadEdit
+	ErrEdgeExists = core.ErrEdgeExists
+	ErrNoSuchEdge = core.ErrNoSuchEdge
 )
 
 // EnginePanicError is the concrete error behind ErrEnginePanic: a panic
@@ -300,13 +319,40 @@ func DecomposeSpectrumCtx(ctx context.Context, g *Graph, maxH int, opts Options)
 	return core.DecomposeSpectrumCtx(ctx, g, maxH, opts)
 }
 
+// EdgeEdit is one edge mutation — an undirected {U,V} pair plus an
+// EditInsert or EditDelete op — for Maintainer.ApplyBatch.
+type EdgeEdit = incr.Edit
+
+// The EdgeEdit operations.
+const (
+	// EditInsert adds an undirected edge, growing the vertex set if an
+	// endpoint is new.
+	EditInsert = incr.Insert
+	// EditDelete removes an undirected edge (vertices are never removed).
+	EditDelete = incr.Delete
+)
+
+// IncrStats describes the incremental-repair work of one Maintainer
+// update (Stats.Incr): whether the localized path ran, region and
+// boundary sizes, the number of repaired vertices, and per-phase
+// wall-times for seeding, region closure and the splice peel.
+type IncrStats = incr.Stats
+
 // Maintainer keeps a (k,h)-core decomposition current across edge
-// insertions and deletions, re-decomposing with warm per-vertex bounds
-// (previous indices are lower bounds after inserts, upper bounds after
-// deletes). Results after every update are exact. The InsertEdgeCtx /
-// DeleteEdgeCtx variants cancel the update's re-decomposition
-// cooperatively; after a canceled update the next one runs cold (unseeded)
-// and restores exact indices.
+// insertions and deletions. Each update first tries a localized repair:
+// it grows the dirty region around the edited edges (the vertices whose
+// core index can change, certified by windowed gain/fall probes), pins
+// the region's boundary at its unchanged indices, and re-peels only the
+// region — bit-identical to a from-scratch decomposition. When the
+// region stops being local (dense expanders at h ≥ 2, or a region
+// covering half the graph) it falls back to a warm full re-decomposition
+// (previous indices seed lower bounds after pure inserts, upper bounds
+// after pure deletes). Results after every update are exact either way;
+// LastStats().Incr reports which path ran and what it cost. The ctx
+// variants cancel an update cooperatively: a canceled update leaves the
+// edge set changed but the published indices describing the pre-edit
+// graph, with the repair owed (Stale) and folded into the next update or
+// Refresh.
 type Maintainer = core.Maintainer
 
 // NewMaintainer decomposes g once and prepares for dynamic edge updates.
